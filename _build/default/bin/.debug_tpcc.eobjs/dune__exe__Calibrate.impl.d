@@ -1,0 +1,1 @@
+bin/calibrate.ml: Array Printf Scenarios Sys Tell_harness Tell_sim Tell_tpcc Unix

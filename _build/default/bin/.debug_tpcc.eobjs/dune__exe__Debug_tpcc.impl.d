@@ -1,0 +1,1 @@
+bin/debug_tpcc.ml: Array Commit_manager Database List Printf Tell_core Tell_kv Tell_sim Tell_tpcc Version_set

@@ -1,0 +1,1 @@
+bin/tell_bench.ml: Arg Cmd Cmdliner Experiments Printf Scenarios String Tell_core Tell_harness Tell_sim Tell_tpcc Term

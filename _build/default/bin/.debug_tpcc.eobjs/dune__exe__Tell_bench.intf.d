@@ -1,0 +1,1 @@
+bin/tell_bench.mli:

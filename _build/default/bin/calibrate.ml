@@ -1,0 +1,79 @@
+(* Calibration scratchpad: run key corner configurations and print the
+   shape-determining quantities. *)
+
+module Tpcc = Tell_tpcc
+open Tell_harness
+
+let show label outcome seconds =
+  (match outcome with
+  | Scenarios.Report r ->
+      Printf.printf "%-34s TpmC=%8.0f Tps=%7.0f abort=%5.2f%% lat=%6.2f±%.2fms [%0.1fs wall]\n%!"
+        label (Tpcc.Driver.tpmc r) (Tpcc.Driver.tps r) (Tpcc.Driver.abort_rate r)
+        (Tpcc.Driver.mean_latency_ms r) (Tpcc.Driver.stddev_latency_ms r) seconds
+  | Scenarios.Out_of_memory -> Printf.printf "%-34s OOM\n%!" label);
+  outcome
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let tell label c =
+  let r, dt = timed (fun () -> Scenarios.run_tell c) in
+  ignore (show ("tell " ^ label) r dt)
+
+let volt label c =
+  let r, dt = timed (fun () -> Scenarios.run_voltdb c) in
+  ignore (show ("voltdb " ^ label) r dt)
+
+let ndb label c =
+  let r, dt = timed (fun () -> Scenarios.run_ndb c) in
+  ignore (show ("ndb " ^ label) r dt)
+
+let fdb label c =
+  let r, dt = timed (fun () -> Scenarios.run_fdb c) in
+  ignore (show ("fdb " ^ label) r dt)
+
+let () =
+  let which = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  let base = { Scenarios.default_tell with warehouses = 16; measure_ns = 300_000_000 } in
+  let vbase = { Scenarios.default_voltdb with v_warehouses = 16; v_measure_ns = 300_000_000 } in
+  let mbase = { Scenarios.default_ndb with m_warehouses = 16; m_measure_ns = 300_000_000 } in
+  let fbase = { Scenarios.default_fdb with f_warehouses = 16; f_measure_ns = 300_000_000 } in
+  let shard = Tpcc.Spec.shardable_mix in
+  if which = "all" || which = "tell" then begin
+    tell "1pn rf1 ib" { base with n_pns = 1 };
+    tell "8pn rf1 ib" { base with n_pns = 8 };
+    tell "8pn rf3 ib" { base with n_pns = 8; rf = 3 };
+    tell "8pn rf1 eth" { base with n_pns = 8; net = Tell_sim.Net.ethernet_10g };
+    tell "8pn rf3 read-mix" { base with n_pns = 8; rf = 3; mix = Tpcc.Spec.read_intensive_mix };
+    tell "8pn rf1 read-mix" { base with n_pns = 8; mix = Tpcc.Spec.read_intensive_mix }
+  end;
+  if which = "all" || which = "cmp" then begin
+    tell "8pn7sn rf3 std" { base with n_pns = 8; rf = 3; n_cms = 2 };
+    tell "8pn7sn rf1 shard" { base with n_pns = 8; mix = shard; n_cms = 2 };
+    tell "8pn7sn rf3 shard" { base with n_pns = 8; rf = 3; mix = shard; n_cms = 2 };
+    volt "3n k2 std" { vbase with v_k_factor = 2 };
+    volt "11n k2 std" { vbase with v_nodes = 11; v_k_factor = 2 };
+    volt "3n k0 shard" { vbase with v_mix = shard };
+    volt "11n k0 shard" { vbase with v_nodes = 11; v_mix = shard };
+    volt "11n k2 shard" { vbase with v_nodes = 11; v_k_factor = 2; v_mix = shard };
+    ndb "3dn r2 std" { mbase with m_replicas = 2 };
+    ndb "9dn r2 std" { mbase with m_data_nodes = 9; m_sql_nodes = 4; m_replicas = 2 };
+    ndb "9dn r2 shard" { mbase with m_data_nodes = 9; m_sql_nodes = 4; m_replicas = 2; m_mix = shard };
+    fdb "3n std" fbase;
+    fdb "9n std" { fbase with f_nodes = 9 }
+  end
+
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "cmp128" then begin
+    let base = { Scenarios.default_tell with warehouses = 128; measure_ns = 300_000_000; n_cms = 2 } in
+    let vbase = { Scenarios.default_voltdb with v_warehouses = 128; v_measure_ns = 300_000_000 } in
+    let shard = Tpcc.Spec.shardable_mix in
+    tell "8pn rf1 shard 128w" { base with n_pns = 8; mix = shard };
+    tell "8pn rf3 std 128w" { base with n_pns = 8; rf = 3 };
+    volt "3n k2 std 128w" { vbase with v_k_factor = 2 };
+    volt "11n k2 std 128w" { vbase with v_nodes = 11; v_k_factor = 2 };
+    volt "11n k0 shard 128w" { vbase with v_nodes = 11; v_mix = shard };
+    volt "3n k0 shard 128w" { vbase with v_mix = shard }
+  end

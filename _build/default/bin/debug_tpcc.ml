@@ -1,0 +1,56 @@
+(* Scratch harness for debugging the TPC-C driver. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+module Tpcc = Tell_tpcc
+
+let tiny_scale =
+  {
+    Tpcc.Spec.warehouses = 2;
+    districts_per_wh = 4;
+    customers_per_district = 30;
+    items = 100;
+    stock_per_wh = 100;
+    initial_orders_per_district = 30;
+  }
+
+let () =
+  let engine = Sim.Engine.create () in
+  let config =
+    { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 1 }
+  in
+  let db = Database.create engine ~kv_config:config () in
+  let pns = List.init 2 (fun _ -> Database.add_pn db ()) in
+  let n = Tpcc.Loader.load (Database.cluster db) ~scale:tiny_scale ~seed:11 in
+  Printf.printf "loaded %d records\n%!" n;
+  let tell = Tpcc.Tell_engine.create db ~pns ~scale:tiny_scale in
+  let rng = Sim.Rng.make 3 in
+  let counts = Array.make 8 0 in
+  for terminal_id = 0 to 7 do
+    let term_rng = Sim.Rng.split rng in
+    Sim.Engine.spawn engine (fun () ->
+        let conn = Tpcc.Tell_engine.connect tell ~terminal_id in
+        let home_w = (terminal_id mod tiny_scale.warehouses) + 1 in
+        while true do
+          let input =
+            Tpcc.Spec.gen_txn term_rng ~scale:tiny_scale ~mix:Tpcc.Spec.standard_mix ~home_w
+          in
+          let _ = Tpcc.Tell_engine.execute conn input in
+          counts.(terminal_id) <- counts.(terminal_id) + 1
+        done)
+  done;
+  Sim.Engine.spawn engine (fun () ->
+      while true do
+        Sim.Engine.sleep engine 10_000_000;
+        let cm = List.nth (Database.commit_managers db) 0 in
+        let snap = Commit_manager.current_snapshot cm in
+        Printf.printf "t=%dms txns=%d base=%d above=%d active=%d lav=%d events=%d\n%!"
+          (Sim.Engine.now engine / 1_000_000)
+          (Array.fold_left ( + ) 0 counts)
+          (Version_set.base snap) (Version_set.cardinal_above snap)
+          (Commit_manager.active_count cm) (Commit_manager.current_lav cm)
+          (Sim.Engine.pending_events engine)
+      done);
+  Sim.Engine.run engine ~until:450_000_000 ();
+  Printf.printf "sim end, pending=%d\n%!" (Sim.Engine.pending_events engine)

@@ -1,0 +1,169 @@
+(* Command-line interface to the benchmark harness:
+
+     tell_bench experiment fig8 --quick
+     tell_bench tell --pns 4 --sns 7 --rf 3 --mix read --net ethernet
+     tell_bench voltdb --nodes 5 --k 2 --mix shardable                  *)
+
+open Cmdliner
+module Tpcc = Tell_tpcc
+open Tell_harness
+
+let mix_of_string = function
+  | "standard" | "write" -> Tpcc.Spec.standard_mix
+  | "read" | "read-intensive" -> Tpcc.Spec.read_intensive_mix
+  | "shardable" -> Tpcc.Spec.shardable_mix
+  | other -> invalid_arg ("unknown mix: " ^ other ^ " (standard|read|shardable)")
+
+let print_outcome label cores = function
+  | Scenarios.Report r ->
+      Printf.printf
+        "%s cores=%d\n  TpmC      %10.0f\n  Tps       %10.0f\n  aborts    %9.2f%%\n\
+        \  latency   %8.2f ms (σ %.2f, TP99 %.2f, TP999 %.2f)\n  committed %10d (user rollbacks %d)\n"
+        label cores (Tpcc.Driver.tpmc r) (Tpcc.Driver.tps r) (Tpcc.Driver.abort_rate r)
+        (Tpcc.Driver.mean_latency_ms r) (Tpcc.Driver.stddev_latency_ms r)
+        (Tpcc.Driver.percentile_latency_ms r 99.0)
+        (Tpcc.Driver.percentile_latency_ms r 99.9)
+        r.committed r.user_aborts
+  | Scenarios.Out_of_memory -> Printf.printf "%s: storage out of memory\n" label
+
+(* Shared options *)
+let mix_arg =
+  Arg.(value & opt string "standard" & info [ "mix" ] ~doc:"Workload mix: standard|read|shardable")
+
+let warehouses_arg = Arg.(value & opt int 32 & info [ "warehouses"; "w" ] ~doc:"TPC-C warehouses")
+let measure_arg = Arg.(value & opt int 600 & info [ "measure-ms" ] ~doc:"Measurement window (virtual ms)")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic simulation seed")
+
+(* tell subcommand *)
+let tell_cmd =
+  let run pns sns cms rf threads net buffer mix warehouses measure seed =
+    let net =
+      match Tell_sim.Net.profile_of_string net with
+      | Some p -> p
+      | None -> invalid_arg ("unknown network: " ^ net)
+    in
+    let buffer =
+      match String.lowercase_ascii buffer with
+      | "tb" -> Tell_core.Buffer_pool.Transaction_buffer
+      | "sb" -> Tell_core.Buffer_pool.Shared_record_buffer { capacity = 100_000 }
+      | "sbvs10" -> Tell_core.Buffer_pool.Shared_vs_buffer { capacity = 100_000; unit_size = 10 }
+      | "sbvs1000" -> Tell_core.Buffer_pool.Shared_vs_buffer { capacity = 100_000; unit_size = 1000 }
+      | other -> invalid_arg ("unknown buffer strategy: " ^ other)
+    in
+    let c =
+      {
+        Scenarios.default_tell with
+        n_pns = pns;
+        n_sns = sns;
+        n_cms = cms;
+        rf;
+        threads_per_pn = threads;
+        net;
+        buffer;
+        mix = mix_of_string mix;
+        warehouses;
+        measure_ns = measure * 1_000_000;
+        seed;
+      }
+    in
+    print_outcome "tell" (Scenarios.tell_cores c) (Scenarios.run_tell c)
+  in
+  let pns = Arg.(value & opt int 4 & info [ "pns" ] ~doc:"Processing nodes") in
+  let sns = Arg.(value & opt int 7 & info [ "sns" ] ~doc:"Storage nodes") in
+  let cms = Arg.(value & opt int 1 & info [ "cms" ] ~doc:"Commit managers") in
+  let rf = Arg.(value & opt int 1 & info [ "rf" ] ~doc:"Replication factor") in
+  let threads = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Worker threads per PN") in
+  let net = Arg.(value & opt string "infiniband" & info [ "net" ] ~doc:"infiniband|ethernet") in
+  let buffer = Arg.(value & opt string "tb" & info [ "buffer" ] ~doc:"TB|SB|SBVS10|SBVS1000") in
+  Cmd.v (Cmd.info "tell" ~doc:"Run TPC-C on the Tell shared-data database")
+    Term.(
+      const run $ pns $ sns $ cms $ rf $ threads $ net $ buffer $ mix_arg $ warehouses_arg
+      $ measure_arg $ seed_arg)
+
+(* voltdb subcommand *)
+let voltdb_cmd =
+  let run nodes k mix warehouses measure seed =
+    let c =
+      {
+        Scenarios.default_voltdb with
+        v_nodes = nodes;
+        v_k_factor = k;
+        v_mix = mix_of_string mix;
+        v_warehouses = warehouses;
+        v_measure_ns = measure * 1_000_000;
+        v_seed = seed;
+      }
+    in
+    print_outcome "voltdb" (Scenarios.voltdb_cores c) (Scenarios.run_voltdb c)
+  in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Cluster nodes") in
+  let k = Arg.(value & opt int 0 & info [ "k" ] ~doc:"K-factor (extra replicas)") in
+  Cmd.v (Cmd.info "voltdb" ~doc:"Run TPC-C on the VoltDB baseline model")
+    Term.(const run $ nodes $ k $ mix_arg $ warehouses_arg $ measure_arg $ seed_arg)
+
+(* mysql subcommand *)
+let ndb_cmd =
+  let run dn sql replicas mix warehouses measure seed =
+    let c =
+      {
+        Scenarios.default_ndb with
+        m_data_nodes = dn;
+        m_sql_nodes = sql;
+        m_replicas = replicas;
+        m_mix = mix_of_string mix;
+        m_warehouses = warehouses;
+        m_measure_ns = measure * 1_000_000;
+        m_seed = seed;
+      }
+    in
+    print_outcome "mysql-cluster" (Scenarios.ndb_cores c) (Scenarios.run_ndb c)
+  in
+  let dn = Arg.(value & opt int 3 & info [ "data-nodes" ] ~doc:"NDB data nodes") in
+  let sql = Arg.(value & opt int 2 & info [ "sql-nodes" ] ~doc:"SQL nodes") in
+  let replicas = Arg.(value & opt int 1 & info [ "replicas" ] ~doc:"Fragment replicas") in
+  Cmd.v (Cmd.info "mysql" ~doc:"Run TPC-C on the MySQL Cluster baseline model")
+    Term.(const run $ dn $ sql $ replicas $ mix_arg $ warehouses_arg $ measure_arg $ seed_arg)
+
+(* fdb subcommand *)
+let fdb_cmd =
+  let run nodes replicas mix warehouses measure seed =
+    let c =
+      {
+        Scenarios.default_fdb with
+        f_nodes = nodes;
+        f_replicas = replicas;
+        f_mix = mix_of_string mix;
+        f_warehouses = warehouses;
+        f_measure_ns = measure * 1_000_000;
+        f_seed = seed;
+      }
+    in
+    print_outcome "foundationdb" (Scenarios.fdb_cores c) (Scenarios.run_fdb c)
+  in
+  let nodes = Arg.(value & opt int 3 & info [ "nodes" ] ~doc:"Nodes per layer") in
+  let replicas = Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Redundancy mode") in
+  Cmd.v (Cmd.info "fdb" ~doc:"Run TPC-C on the FoundationDB baseline model")
+    Term.(const run $ nodes $ replicas $ mix_arg $ warehouses_arg $ measure_arg $ seed_arg)
+
+(* experiment subcommand *)
+let experiment_cmd =
+  let run name quick =
+    let intensity = if quick then Experiments.Quick else Experiments.Full in
+    Experiments.by_name name intensity
+  in
+  let exp_name =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf "One of: %s, all" (String.concat ", " Experiments.names)))
+  in
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Reduced sweep for fast runs") in
+  Cmd.v (Cmd.info "experiment" ~doc:"Regenerate a table/figure of the paper")
+    Term.(const run $ exp_name $ quick)
+
+let () =
+  let doc = "TPC-C benchmarks for the Tell shared-data database reproduction" in
+  let info = Cmd.info "tell_bench" ~version:"1.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ tell_cmd; voltdb_cmd; ndb_cmd; fdb_cmd; experiment_cmd ]))

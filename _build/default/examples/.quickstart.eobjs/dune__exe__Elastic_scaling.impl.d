@@ -1,0 +1,1 @@
+examples/elastic_scaling.ml: Database List Printf Tell_core Tell_kv Tell_sim Tell_tpcc

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Database List Pn Printf Tell_core Tell_kv Tell_sim Tell_tpcc

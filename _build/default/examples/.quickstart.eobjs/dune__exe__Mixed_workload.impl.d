@@ -1,0 +1,1 @@
+examples/mixed_workload.ml: Database List Printf Pushdown Query Sql_plan Tell_core Tell_kv Tell_sim Tell_tpcc Value

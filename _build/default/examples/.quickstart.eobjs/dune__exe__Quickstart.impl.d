@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Database List Printf Sql_plan String Tell_core Tell_kv Tell_sim Txn Value

@@ -1,0 +1,74 @@
+(* Elasticity (§2.1, §3): processing nodes are added on demand — without
+   any data movement or repartitioning — and throughput follows.  This is
+   the operational-flexibility argument against partitioned designs, where
+   growing the cluster means splitting and migrating partitions.
+
+     dune exec examples/elastic_scaling.exe *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+module Tpcc = Tell_tpcc
+
+let scale = Tpcc.Spec.sim_scale ~warehouses:8
+let threads_per_pn = 8
+let phase_ns = 250_000_000
+
+let () =
+  let engine = Sim.Engine.create () in
+  let db = Database.create engine () in
+  let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:1 in
+  let committed = ref 0 in
+  let stop = ref false in
+  let rng = Sim.Rng.make 5 in
+  let next_terminal = ref 0 in
+
+  (* Terminals bound to one PN; more are spawned whenever a PN joins. *)
+  let spawn_terminals tell =
+    for _ = 1 to threads_per_pn do
+      let terminal_id = !next_terminal in
+      incr next_terminal;
+      let term_rng = Sim.Rng.split rng in
+      Sim.Engine.spawn engine (fun () ->
+          let conn = Tpcc.Tell_engine.connect tell ~terminal_id in
+          let home_w = (terminal_id mod scale.warehouses) + 1 in
+          while not !stop do
+            let input = Tpcc.Spec.gen_txn term_rng ~scale ~mix:Tpcc.Spec.standard_mix ~home_w in
+            match Tpcc.Tell_engine.execute conn input with
+            | Tpcc.Engine_intf.Committed -> incr committed
+            | Tpcc.Engine_intf.Aborted _ | Tpcc.Engine_intf.User_abort -> ()
+          done)
+    done
+  in
+
+  Sim.Engine.spawn engine (fun () ->
+      let throughput_of phase_start =
+        60e9 *. float_of_int (!committed - phase_start) /. float_of_int phase_ns
+      in
+      (* Phase 1: two processing nodes. *)
+      let pns = ref [ Database.add_pn db (); Database.add_pn db () ] in
+      let tell = Tpcc.Tell_engine.create db ~pns:!pns ~scale in
+      spawn_terminals tell;
+      spawn_terminals tell;
+      Sim.Engine.sleep engine phase_ns;
+      let before = !committed in
+      Sim.Engine.sleep engine phase_ns;
+      Printf.printf "phase 1: 2 PNs  -> %7.0f committed txns/min\n%!" (throughput_of before);
+
+      (* Phase 2: double the processing layer, live.  No data moves; the
+         new PNs immediately operate on the shared store. *)
+      let t_grow = Sim.Engine.now engine in
+      pns := !pns @ [ Database.add_pn db (); Database.add_pn db () ];
+      let tell' = Tpcc.Tell_engine.create db ~pns:(List.filteri (fun i _ -> i >= 2) !pns) ~scale in
+      spawn_terminals tell';
+      spawn_terminals tell';
+      Printf.printf "added 2 PNs at t=%.0f ms (zero data movement)\n%!"
+        (float_of_int t_grow /. 1e6);
+      Sim.Engine.sleep engine phase_ns;
+      let before = !committed in
+      Sim.Engine.sleep engine phase_ns;
+      Printf.printf "phase 2: 4 PNs  -> %7.0f committed txns/min\n%!" (throughput_of before);
+      stop := true);
+
+  Sim.Engine.run engine ~until:4_000_000_000 ();
+  Printf.printf "elastic scaling: done\n"

@@ -1,0 +1,75 @@
+(* Fail-over (§4.4): a storage node crashes under load (with RF2, no data
+   is lost and the system keeps serving), and a processing node crashes
+   mid-commit (its partially applied transaction is rolled back by the
+   recovery process).
+
+     dune exec examples/fault_tolerance.exe *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+module Tpcc = Tell_tpcc
+
+let scale = Tpcc.Spec.sim_scale ~warehouses:4
+
+let () =
+  let engine = Sim.Engine.create () in
+  let kv_config =
+    { Kv.Cluster.default_config with n_storage_nodes = 4; replication_factor = 2 }
+  in
+  let db = Database.create engine ~kv_config () in
+  let pn1 = Database.add_pn db () in
+  let pn2 = Database.add_pn db () in
+  let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:1 in
+  let tell = Tpcc.Tell_engine.create db ~pns:[ pn1; pn2 ] ~scale in
+
+  let committed = ref 0 and aborted = ref 0 in
+  let stop = ref false in
+  let rng = Sim.Rng.make 5 in
+  for terminal_id = 0 to 11 do
+    let term_rng = Sim.Rng.split rng in
+    Sim.Engine.spawn engine (fun () ->
+        let conn = Tpcc.Tell_engine.connect tell ~terminal_id in
+        let home_w = (terminal_id mod scale.warehouses) + 1 in
+        while not !stop do
+          let input = Tpcc.Spec.gen_txn term_rng ~scale ~mix:Tpcc.Spec.standard_mix ~home_w in
+          match Tpcc.Tell_engine.execute conn input with
+          | Tpcc.Engine_intf.Committed -> incr committed
+          | Tpcc.Engine_intf.Aborted _ -> incr aborted
+          | Tpcc.Engine_intf.User_abort -> ()
+        done)
+  done;
+
+  Sim.Engine.spawn engine (fun () ->
+      Sim.Engine.sleep engine 150_000_000;
+      let before = !committed in
+      Printf.printf "t=%3.0f ms: crashing storage node 0 (RF2: replicas hold its data)\n%!"
+        (float_of_int (Sim.Engine.now engine) /. 1e6);
+      Database.crash_storage_node db 0;
+      Sim.Engine.sleep engine 150_000_000;
+      Printf.printf "t=%3.0f ms: %d transactions committed since the crash — fail-over done\n%!"
+        (float_of_int (Sim.Engine.now engine) /. 1e6)
+        (!committed - before);
+
+      (* Now crash a processing node while transactions are in flight. *)
+      Printf.printf "t=%3.0f ms: crashing processing node %d with transactions in flight\n%!"
+        (float_of_int (Sim.Engine.now engine) /. 1e6)
+        (Pn.id pn2);
+      Database.crash_pn db pn2;
+      Sim.Engine.sleep engine 50_000_000;
+      let rolled_back = Database.recover_crashed_pns db in
+      Printf.printf "t=%3.0f ms: recovery rolled back %d in-flight transaction(s) of the dead PN\n%!"
+        (float_of_int (Sim.Engine.now engine) /. 1e6)
+        rolled_back;
+      Sim.Engine.sleep engine 100_000_000;
+      stop := true;
+
+      (* Consistency audit over the surviving node. *)
+      Sim.Engine.sleep engine 50_000_000;
+      let violations = Tpcc.Consistency.check_all pn1 ~scale in
+      (match violations with
+      | [] -> Printf.printf "consistency check: OK (W_YTD = sum(D_YTD), order counters intact)\n"
+      | v -> List.iter (Printf.printf "VIOLATION: %s\n") v));
+
+  Sim.Engine.run engine ~until:60_000_000_000 ();
+  Printf.printf "fault tolerance: %d committed, %d aborted — done\n" !committed !aborted

@@ -1,0 +1,1 @@
+lib/baselines/fdb_model.ml: Array Hashtbl List Printf Row_store Tell_core Tell_sim Tell_tpcc Tpcc_rows

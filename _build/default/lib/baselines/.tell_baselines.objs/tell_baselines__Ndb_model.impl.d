@@ -1,0 +1,1 @@
+lib/baselines/ndb_model.ml: Array Hashtbl List Printf Queue Row_store Tell_sim Tell_tpcc Tpcc_rows

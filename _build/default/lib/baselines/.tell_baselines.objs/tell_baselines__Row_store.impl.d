@@ -1,0 +1,1 @@
+lib/baselines/row_store.ml: Hashtbl List Tell_core Value

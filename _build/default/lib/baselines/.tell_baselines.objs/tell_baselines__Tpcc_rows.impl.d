@@ -1,0 +1,1 @@
+lib/baselines/tpcc_rows.ml: Array Int List String Tell_core Tell_tpcc Value

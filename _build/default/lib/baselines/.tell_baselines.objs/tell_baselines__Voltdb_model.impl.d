@@ -1,0 +1,1 @@
+lib/baselines/voltdb_model.ml: Array Int List Printf Row_store Tell_sim Tell_tpcc Tpcc_rows

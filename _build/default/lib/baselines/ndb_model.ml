@@ -1,0 +1,315 @@
+(* MySQL Cluster (NDB) style partitioned engine (§6.4).
+
+   Architecture per the paper: SQL nodes federate queries towards data
+   nodes that store warehouse-partitioned data in memory and replicate
+   synchronously.  Every row operation is a statement that pays
+   SQL-node processing plus a network round trip to the owning data node;
+   writes take exclusive row locks held until a two-phase commit across
+   all participant data nodes.  Single-partition transactions are not
+   blocked by distributed ones (which is why the paper measures MySQL
+   Cluster slightly ahead of VoltDB on the standard mix), but every
+   transaction pays the federation and 2PC tax — so it scales flatly. *)
+
+module Sim = Tell_sim
+module Spec = Tell_tpcc.Spec
+module Engine_intf = Tell_tpcc.Engine_intf
+
+type config = {
+  n_data_nodes : int;
+  n_sql_nodes : int;
+  cores_per_node : int;
+  replicas : int;  (** synchronous copies per fragment (1 = RF1) *)
+  net_profile : Sim.Net.profile;
+  statement_ns : int;  (** SQL-node processing per (prepared) statement *)
+  dn_op_ns : int;  (** data-node processing per row operation *)
+  epoch_commit_ns : int;
+      (** cluster-global commit pipeline occupancy per transaction: NDB
+          acknowledges commits through global-checkpoint epochs, a
+          cluster-wide mechanism that does not scale with node count —
+          the flat throughput of Figure 8 *)
+  lock_timeout_ns : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_data_nodes = 3;
+    n_sql_nodes = 2;
+    cores_per_node = 8;
+    replicas = 1;
+    net_profile = { Sim.Net.ethernet_10g with name = "ipoib"; base_latency_ns = 25_000 };
+    statement_ns = 8_000;
+    dn_op_ns = 2_500;
+    epoch_commit_ns = 140_000;
+    lock_timeout_ns = 20_000_000;
+    seed = 55;
+  }
+
+type lock = { mutable owner : int option; waiters : Sim.Engine.resume Queue.t }
+
+type data_node = { dn_id : int; cpu : Sim.Resource.t; store : Row_store.t }
+
+type sql_node = { cpu : Sim.Resource.t }
+
+type t = {
+  engine : Sim.Engine.t;
+  config : config;
+  scale : Spec.scale;
+  data_nodes : data_node array;
+  sql_nodes : sql_node array;
+  net : Sim.Net.t;
+  epoch_pipeline : Sim.Resource.t;
+  locks : (string * int list, lock) Hashtbl.t;
+  mutable unique : int;
+  mutable next_txn : int;
+  mutable lock_timeouts : int;
+}
+
+let create engine ~(config : config) ~(scale : Spec.scale) =
+  let rng = Sim.Rng.make config.seed in
+  let data_nodes =
+    Array.init config.n_data_nodes (fun dn_id ->
+        {
+          dn_id;
+          cpu = Sim.Resource.create engine ~servers:config.cores_per_node (Printf.sprintf "ndb-dn%d" dn_id);
+          store = Row_store.create ();
+        })
+  in
+  let sql_nodes =
+    Array.init config.n_sql_nodes (fun i ->
+        { cpu = Sim.Resource.create engine ~servers:config.cores_per_node (Printf.sprintf "ndb-sql%d" i) })
+  in
+  let t =
+    {
+      engine;
+      config;
+      scale;
+      data_nodes;
+      sql_nodes;
+      net = Sim.Net.create engine rng config.net_profile;
+      epoch_pipeline = Sim.Resource.create engine ~servers:1 "ndb-epoch";
+      locks = Hashtbl.create 4096;
+      unique = 0;
+      next_txn = 0;
+      lock_timeouts = 0;
+    }
+  in
+  let dn_of_wh w = data_nodes.((w - 1) mod config.n_data_nodes) in
+  Tell_tpcc.Population.generate ~scale ~seed:(config.seed + 1) ~emit:(fun ~table ~key row ->
+      match (table, key) with
+      | "item", _ ->
+          (* ITEM is small and read-only: present on every data node. *)
+          Array.iter (fun dn -> Row_store.put dn.store ~table ~key row) data_nodes
+      | _, w :: _ -> Row_store.put (dn_of_wh w).store ~table ~key row
+      | _, [] -> invalid_arg "ndb load: keyless row");
+  t
+
+let name _ = "mysql-cluster"
+let lock_timeouts t = t.lock_timeouts
+
+let dn_of_wh t w = t.data_nodes.((w - 1) mod t.config.n_data_nodes)
+
+let dn_of_key t ~table key =
+  match (table, key) with
+  | "item", _ -> t.data_nodes.(0)
+  | _, w :: _ -> dn_of_wh t w
+  | _, [] -> invalid_arg "ndb: keyless row"
+
+(* --- row locks ----------------------------------------------------------------- *)
+
+let lock_of t id =
+  match Hashtbl.find_opt t.locks id with
+  | Some lock -> lock
+  | None ->
+      let lock = { owner = None; waiters = Queue.create () } in
+      Hashtbl.replace t.locks id lock;
+      lock
+
+(* Exclusive lock with a timeout: NDB resolves deadlocks by aborting the
+   waiter after TransactionDeadlockDetectionTimeout.  Waiters re-contend
+   on every wake (releases wake everyone), so a waiter that timed out
+   cannot swallow a wake-up meant for another. *)
+let acquire_lock t ~txn_id id =
+  let deadline = Sim.Engine.now t.engine + t.config.lock_timeout_ns in
+  let rec contend () =
+    let lock = lock_of t id in
+    match lock.owner with
+    | None -> lock.owner <- Some txn_id
+    | Some owner when owner = txn_id -> ()
+    | Some _ ->
+        if Sim.Engine.now t.engine >= deadline then begin
+          t.lock_timeouts <- t.lock_timeouts + 1;
+          raise (Tpcc_rows.Engine_abort "lock timeout")
+        end;
+        let fired = ref false in
+        Sim.Engine.suspend t.engine (fun r ->
+            let once f = if not !fired then begin fired := true; f () end in
+            Queue.push
+              { Sim.Engine.resume = (fun () -> once r.resume); cancel = (fun e -> once (fun () -> r.cancel e)) }
+              lock.waiters;
+            Sim.Engine.schedule t.engine
+              ~delay:(max 0 (deadline - Sim.Engine.now t.engine))
+              (fun () -> once r.resume));
+        contend ()
+  in
+  contend ()
+
+let release_locks t ~txn_id held =
+  List.iter
+    (fun id ->
+      let lock = lock_of t id in
+      if lock.owner = Some txn_id then begin
+        lock.owner <- None;
+        let rec wake_all () =
+          match Queue.take_opt lock.waiters with
+          | None -> ()
+          | Some r ->
+              Sim.Engine.schedule t.engine r.resume;
+              wake_all ()
+        in
+        wake_all ()
+      end)
+    held
+
+(* --- per-transaction context ----------------------------------------------------- *)
+
+type txn_state = {
+  txn_id : int;
+  sql : sql_node;
+  mutable held : (string * int list) list;
+  mutable participants : int list;  (* data-node ids *)
+  mutable undo : (unit -> unit) list;
+  mutable row_writes : int;
+}
+
+(* One statement: SQL-node processing + round trip to the data node +
+   data-node processing.  This per-operation federation cost is the heart
+   of NDB's cost structure. *)
+let statement t st (dn : data_node) ~bytes ~f =
+  Sim.Resource.use st.sql.cpu ~demand:t.config.statement_ns;
+  Sim.Net.transfer t.net ~bytes;
+  Sim.Resource.use dn.cpu ~demand:t.config.dn_op_ns;
+  let result = f () in
+  Sim.Net.transfer t.net ~bytes:128;
+  result
+
+let note_participant st (dn : data_node) =
+  if not (List.mem dn.dn_id st.participants) then st.participants <- dn.dn_id :: st.participants
+
+let ctx t st =
+  let read ~locking ~table ~key =
+    let dn = dn_of_key t ~table key in
+    note_participant st dn;
+    statement t st dn ~bytes:96 ~f:(fun () ->
+        if locking then begin
+          acquire_lock t ~txn_id:st.txn_id (table, key);
+          if not (List.mem (table, key) st.held) then st.held <- (table, key) :: st.held
+        end;
+        Row_store.get dn.store ~table ~key)
+  in
+  {
+    Tpcc_rows.read = (fun ~table ~key -> read ~locking:false ~table ~key);
+    read_for_update = (fun ~table ~key -> read ~locking:true ~table ~key);
+    write =
+      (fun ~table ~key row ->
+        let dn = dn_of_key t ~table key in
+        note_participant st dn;
+        st.row_writes <- st.row_writes + 1;
+        statement t st dn ~bytes:256 ~f:(fun () ->
+            acquire_lock t ~txn_id:st.txn_id (table, key);
+            if not (List.mem (table, key) st.held) then st.held <- (table, key) :: st.held;
+            let previous = Row_store.get dn.store ~table ~key in
+            st.undo <-
+              (fun () ->
+                match previous with
+                | Some old -> Row_store.put dn.store ~table ~key old
+                | None -> Row_store.remove dn.store ~table ~key)
+              :: st.undo;
+            Row_store.put dn.store ~table ~key row));
+    delete =
+      (fun ~table ~key ->
+        let dn = dn_of_key t ~table key in
+        note_participant st dn;
+        statement t st dn ~bytes:96 ~f:(fun () ->
+            acquire_lock t ~txn_id:st.txn_id (table, key);
+            if not (List.mem (table, key) st.held) then st.held <- (table, key) :: st.held;
+            let previous = Row_store.get dn.store ~table ~key in
+            st.undo <-
+              (fun () ->
+                match previous with
+                | Some old -> Row_store.put dn.store ~table ~key old
+                | None -> ())
+              :: st.undo;
+            Row_store.remove dn.store ~table ~key));
+    prefix =
+      (fun ~table ~prefix ->
+        match prefix with
+        | w :: _ ->
+            let dn = dn_of_wh t w in
+            note_participant st dn;
+            statement t st dn ~bytes:96 ~f:(fun () -> Row_store.prefix_entries dn.store ~table ~prefix)
+        | [] -> invalid_arg "ndb: keyless prefix");
+    now = (fun () -> Sim.Engine.now t.engine);
+    unique =
+      (fun () ->
+        t.unique <- t.unique + 1;
+        t.unique);
+  }
+
+(* Two-phase commit with synchronous fragment replication: one
+   prepare+replicate round and one commit round per participant, in
+   parallel across participants. *)
+let two_phase_commit t st =
+  let round ~bytes ~demand =
+    let acks =
+      List.map
+        (fun dn_id ->
+          let ack = Sim.Ivar.create t.engine in
+          let dn = t.data_nodes.(dn_id) in
+          Sim.Engine.spawn t.engine (fun () ->
+              Sim.Net.transfer t.net ~bytes;
+              Sim.Resource.use dn.cpu ~demand;
+              (* Synchronous replication of the fragment changes. *)
+              for _ = 2 to t.config.replicas do
+                Sim.Net.transfer t.net ~bytes;
+                Sim.Resource.use dn.cpu ~demand:(demand / 2)
+              done;
+              Sim.Net.transfer t.net ~bytes:64;
+              Sim.Ivar.fill ack ());
+          ack)
+        st.participants
+    in
+    List.iter Sim.Ivar.read acks
+  in
+  let write_demand = t.config.dn_op_ns * max 1 st.row_writes / max 1 (List.length st.participants) in
+  round ~bytes:256 ~demand:write_demand;
+  (* The commit acknowledgement rides the cluster-global epoch. *)
+  Sim.Resource.use t.epoch_pipeline ~demand:t.config.epoch_commit_ns;
+  round ~bytes:64 ~demand:1_000
+
+(* --- ENGINE interface -------------------------------------------------------------- *)
+
+type conn = { t : t; sql : sql_node }
+
+let connect t ~terminal_id = { t; sql = t.sql_nodes.(terminal_id mod Array.length t.sql_nodes) }
+
+let execute conn input =
+  let t = conn.t in
+  t.next_txn <- t.next_txn + 1;
+  let st =
+    { txn_id = t.next_txn; sql = conn.sql; held = []; participants = []; undo = []; row_writes = 0 }
+  in
+  let finish outcome =
+    release_locks t ~txn_id:st.txn_id st.held;
+    outcome
+  in
+  match Tpcc_rows.run (ctx t st) ~districts:t.scale.districts_per_wh input with
+  | `Done ->
+      two_phase_commit t st;
+      finish Engine_intf.Committed
+  | `User_abort ->
+      List.iter (fun undo -> undo ()) st.undo;
+      finish Engine_intf.User_abort
+  | exception Tpcc_rows.Engine_abort reason ->
+      List.iter (fun undo -> undo ()) st.undo;
+      finish (Engine_intf.Aborted reason)

@@ -1,0 +1,42 @@
+(* Shared in-memory row storage for the partitioned baseline models:
+   per-table hash maps from (integer key list) to tuples, in the same
+   column layouts as [Tell_tpcc.Tell_schema].  The baselines' concurrency
+   control and cost models differ; their data plane is this. *)
+
+open Tell_core
+
+type t = { tables : (string, (int list, Value.t array) Hashtbl.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 1024 in
+      Hashtbl.replace t.tables name table;
+      table
+
+let get t ~table:name ~key = Hashtbl.find_opt (table t name) key
+let put t ~table:name ~key row = Hashtbl.replace (table t name) key row
+let remove t ~table:name ~key = Hashtbl.remove (table t name) key
+
+let fold t ~table:name ~init ~f =
+  Hashtbl.fold (fun key row acc -> f acc key row) (table t name) init
+
+(* Orderly scans over integer-keyed prefixes: collect then sort (the
+   baselines' executors are not latency-modelled per row on local scans —
+   their cost models charge per logical operation instead). *)
+let prefix_entries t ~table:name ~prefix =
+  let plen = List.length prefix in
+  let matches key =
+    let rec check p k =
+      match (p, k) with
+      | [], _ -> true
+      | ph :: pt, kh :: kt -> ph = kh && check pt kt
+      | _ :: _, [] -> false
+    in
+    List.length key >= plen && check prefix key
+  in
+  let rows = fold t ~table:name ~init:[] ~f:(fun acc key row -> if matches key then (key, row) :: acc else acc) in
+  List.sort (fun (k1, _) (k2, _) -> compare k1 k2) rows

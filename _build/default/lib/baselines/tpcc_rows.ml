@@ -1,0 +1,245 @@
+(* TPC-C transaction logic over an abstract row-access context — shared by
+   the three baseline models, whose concurrency control and cost models
+   plug in through the context's callbacks.  Column layouts are those of
+   [Tell_tpcc.Tell_schema]. *)
+
+open Tell_core
+module Spec = Tell_tpcc.Spec
+
+exception Engine_abort of string
+(** Raised by a context on lock timeout / OCC conflict; the model converts
+    it into an [Aborted] outcome after undoing its own state. *)
+
+type ctx = {
+  read : table:string -> key:int list -> Value.t array option;
+  read_for_update : table:string -> key:int list -> Value.t array option;
+      (** Locking read: rows that will be written back must be read through
+          this so lock-based models avoid lost updates. *)
+  write : table:string -> key:int list -> Value.t array -> unit;
+  delete : table:string -> key:int list -> unit;
+  prefix : table:string -> prefix:int list -> (int list * Value.t array) list;
+  now : unit -> int;
+  unique : unit -> int;
+}
+
+let f = Value.as_float
+let i = Value.as_int
+let s = Value.as_string
+
+let required ~what = function
+  | Some row -> row
+  | None -> raise (Engine_abort ("missing row: " ^ what))
+
+let new_order ctx (input : Spec.new_order_input) =
+  let w_id = input.no_w_id and d_id = input.no_d_id in
+  let warehouse = required ~what:"warehouse" (ctx.read ~table:"warehouse" ~key:[ w_id ]) in
+  let district =
+    required ~what:"district" (ctx.read_for_update ~table:"district" ~key:[ w_id; d_id ])
+  in
+  let o_id = i district.(9) in
+  let district' = Array.copy district in
+  district'.(9) <- Value.Int (o_id + 1);
+  ctx.write ~table:"district" ~key:[ w_id; d_id ] district';
+  let customer =
+    required ~what:"customer" (ctx.read ~table:"customer" ~key:[ w_id; d_id; input.no_c_id ])
+  in
+  ignore (f warehouse.(6), f district.(7), f customer.(14));
+  let all_local = List.for_all (fun (_, sw, _) -> sw = w_id) input.items in
+  let items =
+    if input.invalid_item then
+      match List.rev input.items with
+      | (_, sw, qty) :: rest -> List.rev ((0, sw, qty) :: rest)
+      | [] -> input.items
+    else input.items
+  in
+  (* Validate items before writing order rows so that the user abort rolls
+     back trivially in every model. *)
+  let resolved =
+    List.map
+      (fun (i_id, supply_w, qty) ->
+        ((if i_id = 0 then None else ctx.read ~table:"item" ~key:[ i_id ]), i_id, supply_w, qty))
+      items
+  in
+  if List.exists (fun (item, _, _, _) -> item = None) resolved then `User_abort
+  else begin
+    ctx.write ~table:"orders" ~key:[ w_id; d_id; o_id ]
+      [|
+        Value.Int w_id; Value.Int d_id; Value.Int o_id; Value.Int input.no_c_id;
+        Value.Int (ctx.now ()); Value.Int 0; Value.Int (List.length items);
+        Value.Int (if all_local then 1 else 0);
+      |];
+    ctx.write ~table:"neworder" ~key:[ w_id; d_id; o_id ]
+      [| Value.Int w_id; Value.Int d_id; Value.Int o_id |];
+    List.iteri
+      (fun idx (item, i_id, supply_w, qty) ->
+        let item = required ~what:"item" item in
+        let stock =
+          required ~what:"stock" (ctx.read_for_update ~table:"stock" ~key:[ supply_w; i_id ])
+        in
+        let s_qty = i stock.(2) in
+        let stock' = Array.copy stock in
+        stock'.(2) <- Value.Int (if s_qty >= qty + 10 then s_qty - qty else s_qty - qty + 91);
+        stock'.(4) <- Value.Float (f stock.(4) +. float_of_int qty);
+        stock'.(5) <- Value.Int (i stock.(5) + 1);
+        if supply_w <> w_id then stock'.(6) <- Value.Int (i stock.(6) + 1);
+        ctx.write ~table:"stock" ~key:[ supply_w; i_id ] stock';
+        ctx.write ~table:"orderline" ~key:[ w_id; d_id; o_id; idx + 1 ]
+          [|
+            Value.Int w_id; Value.Int d_id; Value.Int o_id; Value.Int (idx + 1);
+            Value.Int i_id; Value.Int supply_w; Value.Int 0; Value.Int qty;
+            Value.Float (float_of_int qty *. f item.(3)); Value.Str (s stock.(3));
+          |])
+      resolved;
+    `Done
+  end
+
+let select_customer ctx ~w_id ~d_id ~for_update selector =
+  match selector with
+  | Spec.By_id c_id ->
+      let read = if for_update then ctx.read_for_update else ctx.read in
+      ( [ w_id; d_id; c_id ],
+        required ~what:"customer" (read ~table:"customer" ~key:[ w_id; d_id; c_id ]) )
+  | Spec.By_last_name last -> (
+      let candidates =
+        List.filter
+          (fun (_, row) -> s row.(5) = last)
+          (ctx.prefix ~table:"customer" ~prefix:[ w_id; d_id ])
+      in
+      let sorted =
+        List.sort (fun (_, a) (_, b) -> String.compare (s a.(3)) (s b.(3))) candidates
+      in
+      let n = List.length sorted in
+      match List.nth_opt sorted ((n - 1) / 2) with
+      | None -> raise (Engine_abort "customer by name not found")
+      | Some (key, _) ->
+          let read = if for_update then ctx.read_for_update else ctx.read in
+          (key, required ~what:"customer" (read ~table:"customer" ~key)))
+
+let payment ctx (input : Spec.payment_input) =
+  let warehouse =
+    required ~what:"warehouse"
+      (ctx.read_for_update ~table:"warehouse" ~key:[ input.p_w_id ])
+  in
+  let warehouse' = Array.copy warehouse in
+  warehouse'.(7) <- Value.Float (f warehouse.(7) +. input.p_amount);
+  ctx.write ~table:"warehouse" ~key:[ input.p_w_id ] warehouse';
+  let district =
+    required ~what:"district"
+      (ctx.read_for_update ~table:"district" ~key:[ input.p_w_id; input.p_d_id ])
+  in
+  let district' = Array.copy district in
+  district'.(8) <- Value.Float (f district.(8) +. input.p_amount);
+  ctx.write ~table:"district" ~key:[ input.p_w_id; input.p_d_id ] district';
+  let c_key, customer =
+    select_customer ctx ~w_id:input.p_c_w_id ~d_id:input.p_c_d_id ~for_update:true
+      input.p_customer
+  in
+  let customer' = Array.copy customer in
+  customer'.(15) <- Value.Float (f customer.(15) -. input.p_amount);
+  customer'.(16) <- Value.Float (f customer.(16) +. input.p_amount);
+  customer'.(17) <- Value.Int (i customer.(17) + 1);
+  ctx.write ~table:"customer" ~key:c_key customer';
+  ctx.write ~table:"history"
+    ~key:[ input.p_c_w_id; input.p_c_d_id; i customer.(2); ctx.unique () ]
+    [|
+      customer.(2); Value.Int input.p_c_d_id; Value.Int input.p_c_w_id;
+      Value.Int input.p_d_id; Value.Int input.p_w_id; Value.Int (ctx.now ());
+      Value.Float input.p_amount; Value.Str (s warehouse.(1) ^ " " ^ s district.(2));
+    |]
+
+let order_status ctx (input : Spec.order_status_input) =
+  let _, customer =
+    select_customer ctx ~w_id:input.os_w_id ~d_id:input.os_d_id ~for_update:false
+      input.os_customer
+  in
+  let c_id = i customer.(2) in
+  let orders =
+    List.filter
+      (fun (_, row) -> i row.(3) = c_id)
+      (ctx.prefix ~table:"orders" ~prefix:[ input.os_w_id; input.os_d_id ])
+  in
+  match List.rev orders with
+  | [] -> ()
+  | (_, order) :: _ ->
+      let o_id = i order.(2) in
+      let lines =
+        ctx.prefix ~table:"orderline" ~prefix:[ input.os_w_id; input.os_d_id; o_id ]
+      in
+      List.iter (fun (_, line) -> ignore (i line.(4), i line.(7), f line.(8))) lines
+
+let delivery ctx ~districts (input : Spec.delivery_input) =
+  let w_id = input.dl_w_id in
+  for d_id = 1 to districts do
+    match ctx.prefix ~table:"neworder" ~prefix:[ w_id; d_id ] with
+    | [] -> ()
+    | (no_key, no_row) :: _ ->
+        let o_id = i no_row.(2) in
+        ctx.delete ~table:"neworder" ~key:no_key;
+        let order =
+          required ~what:"orders" (ctx.read_for_update ~table:"orders" ~key:[ w_id; d_id; o_id ])
+        in
+        let order' = Array.copy order in
+        order'.(5) <- Value.Int input.dl_carrier_id;
+        ctx.write ~table:"orders" ~key:[ w_id; d_id; o_id ] order';
+        let lines = ctx.prefix ~table:"orderline" ~prefix:[ w_id; d_id; o_id ] in
+        let total = ref 0.0 in
+        List.iter
+          (fun (key, line) ->
+            total := !total +. f line.(8);
+            let line' = Array.copy line in
+            line'.(6) <- Value.Int (ctx.now ());
+            ctx.write ~table:"orderline" ~key line')
+          lines;
+        let c_key = [ w_id; d_id; i order.(3) ] in
+        let customer =
+          required ~what:"customer" (ctx.read_for_update ~table:"customer" ~key:c_key)
+        in
+        let customer' = Array.copy customer in
+        customer'.(15) <- Value.Float (f customer.(15) +. !total);
+        customer'.(18) <- Value.Int (i customer.(18) + 1);
+        ctx.write ~table:"customer" ~key:c_key customer'
+  done
+
+let stock_level ctx (input : Spec.stock_level_input) =
+  let district =
+    required ~what:"district" (ctx.read ~table:"district" ~key:[ input.sl_w_id; input.sl_d_id ])
+  in
+  let next_o = i district.(9) in
+  let lines =
+    List.filter
+      (fun (key, _) -> match key with _ :: _ :: o :: _ -> o >= next_o - 20 && o < next_o | _ -> false)
+      (ctx.prefix ~table:"orderline" ~prefix:[ input.sl_w_id; input.sl_d_id ])
+  in
+  let item_ids = List.sort_uniq Int.compare (List.map (fun (_, line) -> i line.(4)) lines) in
+  let low = ref 0 in
+  List.iter
+    (fun i_id ->
+      match ctx.read ~table:"stock" ~key:[ input.sl_w_id; i_id ] with
+      | Some stock -> if i stock.(2) < input.sl_threshold then incr low
+      | None -> ())
+    item_ids;
+  ignore !low
+
+(* Warehouses a transaction touches — the partitioning question. *)
+let warehouses_touched = function
+  | Spec.New_order no -> List.sort_uniq Int.compare (no.no_w_id :: List.map (fun (_, sw, _) -> sw) no.items)
+  | Spec.Payment p -> List.sort_uniq Int.compare [ p.p_w_id; p.p_c_w_id ]
+  | Spec.Order_status os -> [ os.os_w_id ]
+  | Spec.Delivery d -> [ d.dl_w_id ]
+  | Spec.Stock_level sl -> [ sl.sl_w_id ]
+
+let run ctx ~districts (input : Spec.txn_input) =
+  match input with
+  | Spec.New_order no -> (new_order ctx no :> [ `Done | `User_abort ])
+  | Spec.Payment p ->
+      payment ctx p;
+      `Done
+  | Spec.Order_status os ->
+      order_status ctx os;
+      `Done
+  | Spec.Delivery d ->
+      delivery ctx ~districts d;
+      `Done
+  | Spec.Stock_level sl ->
+      stock_level ctx sl;
+      `Done

@@ -1,0 +1,1 @@
+lib/core/btree.ml: Array Buffer Codec Hashtbl Int Keys List Printf Stdlib String Tell_kv

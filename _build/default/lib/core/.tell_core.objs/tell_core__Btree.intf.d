@@ -1,0 +1,1 @@
+lib/core/btree.mli: Tell_kv

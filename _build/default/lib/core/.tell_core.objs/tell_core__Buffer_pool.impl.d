@@ -1,0 +1,1 @@
+lib/core/buffer_pool.ml: Hashtbl Keys List Printf Record Tell_kv Version_set

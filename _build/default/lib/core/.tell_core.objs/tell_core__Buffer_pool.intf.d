@@ -1,0 +1,1 @@
+lib/core/buffer_pool.mli: Record Tell_kv Version_set

@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Buffer Bytes Int64 List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/commit_manager.ml: Buffer Codec Fun Hashtbl Int Keys List Printf Set String Tell_kv Tell_sim Version_set

@@ -1,0 +1,1 @@
+lib/core/commit_manager.mli: Tell_kv Tell_sim Version_set

@@ -1,0 +1,1 @@
+lib/core/database.ml: Commit_manager Gc_task Lazy List Pn Pushdown Recovery Schema Sql_ast Sql_parser Sql_plan Tell_kv Tell_sim Txn

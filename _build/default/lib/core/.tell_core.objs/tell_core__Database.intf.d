@@ -1,0 +1,1 @@
+lib/core/database.mli: Buffer_pool Commit_manager Gc_task Pn Schema Sql_plan Tell_kv Tell_sim Txn Value

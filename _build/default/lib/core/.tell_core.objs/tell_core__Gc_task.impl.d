@@ -1,0 +1,1 @@
+lib/core/gc_task.ml: Btree Codec Commit_manager Keys List Record Schema Tell_kv Tell_sim

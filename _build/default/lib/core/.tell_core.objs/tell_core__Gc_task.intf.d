@@ -1,0 +1,1 @@
+lib/core/gc_task.mli: Commit_manager Schema Tell_kv Tell_sim

@@ -1,0 +1,1 @@
+lib/core/pn.ml: Array Btree Buffer_pool Commit_manager Hashtbl Int64 Keys Printf Schema String Tell_kv Tell_sim Version_set

@@ -1,0 +1,1 @@
+lib/core/pn.mli: Btree Buffer_pool Commit_manager Schema Tell_kv Tell_sim Version_set

@@ -1,0 +1,1 @@
+lib/core/pushdown.ml: Array Buffer Codec Keys List Pn Printf Query Record String Tell_kv Txn Version_set

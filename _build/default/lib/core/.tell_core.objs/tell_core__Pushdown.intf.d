@@ -1,0 +1,1 @@
+lib/core/pushdown.mli: Buffer Query Txn Version_set

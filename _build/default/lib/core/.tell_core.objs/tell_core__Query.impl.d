@@ -1,0 +1,1 @@
+lib/core/query.ml: Array Codec Float Hashtbl Int Lazy List Pn Printf Record Schema String Txn Value

@@ -1,0 +1,1 @@
+lib/core/record.ml: Buffer Codec Int List Printf String Value

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Commit_manager Fun Int List Rollback Tell_kv Tell_sim Txlog

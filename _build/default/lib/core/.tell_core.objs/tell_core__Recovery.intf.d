@@ -1,0 +1,1 @@
+lib/core/recovery.mli: Commit_manager Tell_kv

@@ -1,0 +1,1 @@
+lib/core/rollback.ml: Record Tell_kv

@@ -1,0 +1,1 @@
+lib/core/rollback.mli: Tell_kv

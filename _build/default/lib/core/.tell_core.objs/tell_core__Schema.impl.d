@@ -1,0 +1,1 @@
+lib/core/schema.ml: Array Buffer Codec List Printf String Value

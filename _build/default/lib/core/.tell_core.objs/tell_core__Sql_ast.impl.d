@@ -1,0 +1,1 @@
+lib/core/sql_ast.ml: Query Value

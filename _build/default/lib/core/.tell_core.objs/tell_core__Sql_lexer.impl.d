@@ -1,0 +1,1 @@
+lib/core/sql_lexer.ml: Buffer Fmt List Printf Sql_ast String

@@ -1,0 +1,1 @@
+lib/core/sql_parser.ml: Fmt List Query Sql_ast Sql_lexer String Value

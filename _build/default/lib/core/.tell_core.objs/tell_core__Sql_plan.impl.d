@@ -1,0 +1,1 @@
+lib/core/sql_plan.ml: Array Btree Codec Keys List Option Pn Printf Query Record Schema Sql_ast Sql_parser String Tell_kv Txn Value

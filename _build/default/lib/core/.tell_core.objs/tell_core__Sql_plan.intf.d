@@ -1,0 +1,1 @@
+lib/core/sql_plan.mli: Sql_ast Txn Value

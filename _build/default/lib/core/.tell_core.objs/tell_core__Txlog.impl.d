@@ -1,0 +1,1 @@
+lib/core/txlog.ml: Buffer Codec Keys List String Tell_kv

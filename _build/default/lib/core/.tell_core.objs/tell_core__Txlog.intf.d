@@ -1,0 +1,1 @@
+lib/core/txlog.mli: Tell_kv

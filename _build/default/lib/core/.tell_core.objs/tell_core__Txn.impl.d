@@ -1,0 +1,1 @@
+lib/core/txn.ml: Btree Buffer_pool Codec Commit_manager Hashtbl Int Keys List Option Pn Printf Record Rollback Schema String Tell_kv Tell_sim Txlog Version_set

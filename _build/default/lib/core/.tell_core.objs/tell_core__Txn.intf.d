@@ -1,0 +1,1 @@
+lib/core/txn.mli: Pn Record Value Version_set

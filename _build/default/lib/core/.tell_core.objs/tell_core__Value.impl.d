@@ -1,0 +1,1 @@
+lib/core/value.ml: Float Fmt Int Printf String

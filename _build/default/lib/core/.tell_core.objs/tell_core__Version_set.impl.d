@@ -1,0 +1,1 @@
+lib/core/version_set.ml: Buffer Codec Fmt Int Set

@@ -1,0 +1,1 @@
+lib/core/version_set.mli: Format

@@ -1,0 +1,632 @@
+module Kv = Tell_kv
+
+let max_leaf_entries = 64
+let max_inner_entries = 64
+let max_attempts = 64
+
+(* Separators and high keys are full (key, rid) entries: attribute keys
+   are not unique (secondary indexes), so routing must discriminate at
+   entry granularity or duplicates of a separator key in the left sibling
+   would become unreachable. *)
+type entry = string * int
+
+type node =
+  | Leaf of { entries : entry array; high_key : entry option; next : int option }
+  | Inner of { seps : entry array; children : int array; high_key : entry option; next : int option }
+
+type t = {
+  kv : Kv.Client.t;
+  name : string;
+  inner_cache : (int, node) Hashtbl.t;
+  decoded : (int, int * node) Hashtbl.t;
+      (* node id -> (LL/SC token, decoded node): pure decode memoisation.
+         The store fetch (network + server time) still happens on every
+         access; only the wire-format parsing is skipped when the cell has
+         not changed.  Nodes are immutable after decoding, so sharing is
+         safe. *)
+  mutable cached_root : int option;
+}
+
+let name t = t.name
+
+exception Retry
+
+(* --- node codec ------------------------------------------------------------ *)
+
+let put_entry buf (key, rid) =
+  Codec.put_string buf key;
+  Codec.put_int buf rid
+
+let get_entry s pos =
+  let key, pos = Codec.get_string s pos in
+  let rid, pos = Codec.get_int s pos in
+  ((key, rid), pos)
+
+let put_opt_entry buf = function
+  | None -> Buffer.add_char buf '\x00'
+  | Some e ->
+      Buffer.add_char buf '\x01';
+      put_entry buf e
+
+let get_opt_entry s pos =
+  match s.[pos] with
+  | '\x00' -> (None, pos + 1)
+  | _ -> (
+      let e, pos = get_entry s (pos + 1) in
+      (Some e, pos))
+
+let put_opt_int buf = function None -> Codec.put_int buf (-1) | Some v -> Codec.put_int buf v
+
+let get_opt_int s pos =
+  let v, pos = Codec.get_int s pos in
+  ((if v < 0 then None else Some v), pos)
+
+let encode_node node =
+  let buf = Buffer.create 256 in
+  (match node with
+  | Leaf { entries; high_key; next } ->
+      Buffer.add_char buf 'L';
+      put_opt_entry buf high_key;
+      put_opt_int buf next;
+      Codec.put_int buf (Array.length entries);
+      Array.iter (put_entry buf) entries
+  | Inner { seps; children; high_key; next } ->
+      Buffer.add_char buf 'I';
+      put_opt_entry buf high_key;
+      put_opt_int buf next;
+      Codec.put_int buf (Array.length seps);
+      Array.iter (put_entry buf) seps;
+      Array.iter (Codec.put_int buf) children);
+  Buffer.contents buf
+
+let decode_node s =
+  let tag = s.[0] in
+  let high_key, pos = get_opt_entry s 1 in
+  let next, pos = get_opt_int s pos in
+  let n, pos = Codec.get_int s pos in
+  match tag with
+  | 'L' ->
+      let pos = ref pos in
+      let entries =
+        Array.init n (fun _ ->
+            let e, p = get_entry s !pos in
+            pos := p;
+            e)
+      in
+      Leaf { entries; high_key; next }
+  | 'I' ->
+      let pos = ref pos in
+      let seps =
+        Array.init n (fun _ ->
+            let e, p = get_entry s !pos in
+            pos := p;
+            e)
+      in
+      let children =
+        Array.init (n + 1) (fun _ ->
+            let c, p = Codec.get_int s !pos in
+            pos := p;
+            c)
+      in
+      Inner { seps; children; high_key; next }
+  | c -> invalid_arg (Printf.sprintf "Btree.decode_node: bad tag %C" c)
+
+(* --- store access ----------------------------------------------------------- *)
+
+let node_key t id = Keys.index_node ~index:t.name ~node_id:id
+let root_key t = Keys.index_root ~index:t.name
+
+let alloc_node_id t = Kv.Client.increment t.kv (Keys.index_node_counter ~index:t.name) 1
+
+let decoded_cache_cap = 8_192
+
+let load_node t id =
+  match Kv.Client.get t.kv (node_key t id) with
+  | Some (data, token) -> (
+      match Hashtbl.find_opt t.decoded id with
+      | Some (cached_token, node) when cached_token = token -> (node, token)
+      | _ ->
+          let node = decode_node data in
+          if Hashtbl.length t.decoded >= decoded_cache_cap then Hashtbl.reset t.decoded;
+          Hashtbl.replace t.decoded id (token, node);
+          (node, token))
+  | None -> raise Retry
+
+let store_new_node t node =
+  let id = alloc_node_id t in
+  match Kv.Client.put_if t.kv (node_key t id) None (encode_node node) with
+  | `Ok _ -> id
+  | `Conflict -> invalid_arg "Btree: fresh node id already taken"
+
+let cas_node t id ~token node =
+  match Kv.Client.put_if t.kv (node_key t id) (Some token) (encode_node node) with
+  | `Ok _ -> true
+  | `Conflict -> false
+
+let drop_node t id = ignore (Kv.Client.remove_if t.kv (node_key t id) None)
+
+let root_id t =
+  match t.cached_root with
+  | Some id -> id
+  | None -> (
+      match Kv.Client.get t.kv (root_key t) with
+      | Some (data, _) ->
+          let id, _ = Codec.get_int data 0 in
+          t.cached_root <- Some id;
+          id
+      | None -> invalid_arg (Printf.sprintf "Btree %s: not initialised" t.name))
+
+let encode_root id =
+  let buf = Buffer.create 8 in
+  Codec.put_int buf id;
+  Buffer.contents buf
+
+let create kv ~name =
+  let t =
+    { kv; name; inner_cache = Hashtbl.create 64; decoded = Hashtbl.create 256; cached_root = None }
+  in
+  match Kv.Client.get kv (root_key t) with
+  | Some _ -> ()
+  | None -> (
+      let leaf_id = store_new_node t (Leaf { entries = [||]; high_key = None; next = None }) in
+      match Kv.Client.put_if kv (root_key t) None (encode_root leaf_id) with
+      | `Ok _ -> ()
+      | `Conflict ->
+          (* Another node initialised concurrently; ours becomes garbage. *)
+          drop_node t leaf_id)
+
+let attach kv ~name =
+  { kv; name; inner_cache = Hashtbl.create 64; decoded = Hashtbl.create 256; cached_root = None }
+
+let invalidate_cache t =
+  Hashtbl.reset t.inner_cache;
+  t.cached_root <- None
+
+let cache_size t = Hashtbl.length t.inner_cache
+
+(* --- traversal --------------------------------------------------------------- *)
+
+let below_high key = function None -> true | Some high -> key < high
+
+let child_for_key seps children key =
+  let rec scan i = if i >= Array.length seps then children.(i) else if key < seps.(i) then children.(i) else scan (i + 1) in
+  scan 0
+
+(* Load an inner node through the PN cache (§5.3.1: all levels but the
+   leaves are cached). *)
+let load_inner_cached t id =
+  match Hashtbl.find_opt t.inner_cache id with
+  | Some node -> node
+  | None ->
+      let node, _token = load_node t id in
+      (match node with Inner _ -> Hashtbl.replace t.inner_cache id node | Leaf _ -> ());
+      node
+
+(* Descend to the leaf responsible for [key], returning the fresh leaf and
+   the path of inner node ids (root first).  Any inconsistency between the
+   cached path and reality (split leaf, dangling id) invalidates the cache
+   and restarts from a fresh root. *)
+let rec descend t key =
+  try
+    let rec walk id path =
+      match load_inner_cached t id with
+      | Inner { seps; children; high_key; next } ->
+          if not (below_high key high_key) then begin
+            match next with
+            | Some n -> walk n path
+            | None -> raise Retry
+          end
+          else walk (child_for_key seps children key) (id :: path)
+      | Leaf _ ->
+          (* Leaves are never served from cache: fetch fresh. *)
+          let node, token = load_node t id in
+          (match node with
+          | Leaf _ -> (id, node, token, path)
+          | Inner _ ->
+              (* The node became inner through a concurrent reorganisation. *)
+              raise Retry)
+    in
+    walk (root_id t) []
+  with Retry ->
+    invalidate_cache t;
+    descend t key
+
+let node_bounds = function
+  | Leaf { high_key; next; _ } -> (high_key, next)
+  | Inner { high_key; next; _ } -> (high_key, next)
+
+(* B-link right-walk until the node's range covers [key] — used both at
+   the leaf level and when locating the inner node responsible for a new
+   separator (the parent may itself have split concurrently). *)
+let rec slide_right t key (id, node, token) =
+  let high_key, next = node_bounds node in
+  if below_high key high_key then (id, node, token)
+  else begin
+    match next with
+    | Some n ->
+        let node', token' = load_node t n in
+        slide_right t key (n, node', token')
+    | None -> (id, node, token)
+  end
+
+let locate_leaf t target =
+  let id, node, token, path = descend t target in
+  let id', node', token' = slide_right t target (id, node, token) in
+  if id' <> id then invalidate_cache t;
+  (id', node', token', path)
+
+(* --- insertion ----------------------------------------------------------------- *)
+
+let insert_entry entries key rid =
+  let cmp (k1, r1) (k2, r2) =
+    match String.compare k1 k2 with 0 -> Int.compare r1 r2 | c -> c
+  in
+  let lst = Array.to_list entries in
+  if List.exists (fun e -> cmp e (key, rid) = 0) lst then entries
+  else Array.of_list (List.sort cmp ((key, rid) :: lst))
+
+let remove_entry entries key rid =
+  Array.of_list (List.filter (fun (k, r) -> not (k = key && r = rid)) (Array.to_list entries))
+
+let split_point n = n / 2
+
+(* Insert separator [sep] (pointing at [right_id]) into the parent level.
+   [path] is the remaining ancestor chain, nearest parent first. *)
+let rec insert_sep t ~attempts ~sep ~right_id path =
+  if attempts <= 0 then invalid_arg "Btree.insert_sep: too many conflicts";
+  match path with
+  | [] ->
+      (* Splitting the root: build a fresh root above the two halves. *)
+      let old_root = root_id t in
+      let new_root =
+        store_new_node t
+          (Inner { seps = [| sep |]; children = [| old_root; right_id |]; high_key = None; next = None })
+      in
+      (match Kv.Client.get t.kv (root_key t) with
+      | Some (data, token) ->
+          let current, _ = Codec.get_int data 0 in
+          if current <> old_root then begin
+            (* Someone else already grew the tree: retry from scratch. *)
+            drop_node t new_root;
+            invalidate_cache t;
+            insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (ancestors_of t sep)
+          end
+          else if Kv.Client.put_if t.kv (root_key t) (Some token) (encode_root new_root) = `Conflict
+          then begin
+            drop_node t new_root;
+            invalidate_cache t;
+            insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (ancestors_of t sep)
+          end
+          else invalidate_cache t
+      | None -> invalid_arg "Btree: root pointer vanished")
+  | parent_id :: rest -> (
+      (* Fetch the parent fresh (the cache may be stale) and right-walk to
+         the inner node now responsible for [sep]. *)
+      match
+        let node, token = load_node t parent_id in
+        slide_right t sep (parent_id, node, token)
+      with
+      | exception Retry ->
+          invalidate_cache t;
+          insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (ancestors_of t sep)
+      | id, Inner { seps; children; high_key; next }, token ->
+          if Array.exists (fun s -> s = sep) seps then ()
+          else begin
+            let pos =
+              let rec scan i = if i >= Array.length seps || sep < seps.(i) then i else scan (i + 1) in
+              scan 0
+            in
+            let seps' =
+              Array.concat [ Array.sub seps 0 pos; [| sep |]; Array.sub seps pos (Array.length seps - pos) ]
+            in
+            let children' =
+              Array.concat
+                [
+                  Array.sub children 0 (pos + 1);
+                  [| right_id |];
+                  Array.sub children (pos + 1) (Array.length children - pos - 1);
+                ]
+            in
+            if Array.length seps' <= max_inner_entries then begin
+              if cas_node t id ~token (Inner { seps = seps'; children = children'; high_key; next })
+              then Hashtbl.remove t.inner_cache id
+              else insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (id :: rest)
+            end
+            else begin
+              (* Split this inner node, then recurse one level up. *)
+              let mid = split_point (Array.length seps') in
+              let up_sep = seps'.(mid) in
+              let left_seps = Array.sub seps' 0 mid in
+              let right_seps = Array.sub seps' (mid + 1) (Array.length seps' - mid - 1) in
+              let left_children = Array.sub children' 0 (mid + 1) in
+              let right_children = Array.sub children' (mid + 1) (Array.length children' - mid - 1) in
+              let new_right =
+                store_new_node t
+                  (Inner { seps = right_seps; children = right_children; high_key; next })
+              in
+              let left =
+                Inner { seps = left_seps; children = left_children; high_key = Some up_sep; next = Some new_right }
+              in
+              if cas_node t id ~token left then begin
+                Hashtbl.remove t.inner_cache id;
+                insert_sep t ~attempts:(attempts - 1) ~sep:up_sep ~right_id:new_right rest
+              end
+              else begin
+                drop_node t new_right;
+                insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (id :: rest)
+              end
+            end
+          end
+      | _, Leaf _, _ -> invalid_arg "Btree.insert_sep: leaf in ancestor chain")
+
+and ancestors_of t key =
+  let _, _, _, path = descend t key in
+  path
+
+let rec insert_aux t ~attempts ~key ~rid =
+  if attempts <= 0 then invalid_arg "Btree.insert: too many conflicts";
+  let id, node, token, path = locate_leaf t (key, rid) in
+  match node with
+  | Inner _ -> insert_aux t ~attempts:(attempts - 1) ~key ~rid
+  | Leaf { entries; high_key; next } ->
+      let entries' = insert_entry entries key rid in
+      if entries' == entries then ()
+      else if Array.length entries' <= max_leaf_entries then begin
+        if not (cas_node t id ~token (Leaf { entries = entries'; high_key; next })) then
+          insert_aux t ~attempts:(attempts - 1) ~key ~rid
+      end
+      else begin
+        let mid = split_point (Array.length entries') in
+        let right_entries = Array.sub entries' mid (Array.length entries' - mid) in
+        let sep = right_entries.(0) in
+        let right_id = store_new_node t (Leaf { entries = right_entries; high_key; next }) in
+        let left = Leaf { entries = Array.sub entries' 0 mid; high_key = Some sep; next = Some right_id } in
+        if cas_node t id ~token left then insert_sep t ~attempts:max_attempts ~sep ~right_id path
+        else begin
+          drop_node t right_id;
+          insert_aux t ~attempts:(attempts - 1) ~key ~rid
+        end
+      end
+
+let insert t ~key ~rid = insert_aux t ~attempts:max_attempts ~key ~rid
+
+let rec remove_aux t ~attempts ~key ~rid =
+  if attempts <= 0 then invalid_arg "Btree.remove: too many conflicts";
+  let id, node, token, _path = locate_leaf t (key, rid) in
+  match node with
+  | Inner _ -> remove_aux t ~attempts:(attempts - 1) ~key ~rid
+  | Leaf { entries; high_key; next } ->
+      let entries' = remove_entry entries key rid in
+      if Array.length entries' = Array.length entries then ()
+      else if not (cas_node t id ~token (Leaf { entries = entries'; high_key; next })) then
+        remove_aux t ~attempts:(attempts - 1) ~key ~rid
+
+let remove t ~key ~rid = remove_aux t ~attempts:max_attempts ~key ~rid
+
+(* --- scans ------------------------------------------------------------------ *)
+
+let rec collect_range t ~hi ~limit acc (node : node) =
+  match node with
+  | Inner _ -> invalid_arg "Btree.collect_range: inner node at leaf level"
+  | Leaf { entries; high_key; next; _ } ->
+      let acc =
+        Array.fold_left
+          (fun acc (k, rid) -> if k < hi then (k, rid) :: acc else acc)
+          acc entries
+      in
+      let enough = limit > 0 && List.length acc >= limit in
+      let continue_right =
+        (not enough) && (match high_key with Some (hk, _) -> hk < hi | None -> false)
+      in
+      if continue_right then begin
+        match next with
+        | Some n ->
+            let node', _ = load_node t n in
+            collect_range t ~hi ~limit acc node'
+        | None -> acc
+      end
+      else acc
+
+let range_limit t ~lo ~hi ~limit =
+  if hi <= lo then []
+  else begin
+    let _, node, _, _ = locate_leaf t (lo, min_int) in
+    let all = List.rev (collect_range t ~hi ~limit [] node) in
+    let filtered = List.filter (fun (k, _) -> k >= lo) all in
+    if limit > 0 then List.filteri (fun i _ -> i < limit) filtered else filtered
+  end
+
+let range t ~lo ~hi = range_limit t ~lo ~hi ~limit:0
+
+let lookup t ~key =
+  List.map snd (range t ~lo:key ~hi:(key ^ "\x00"))
+
+(* Route [target] to its leaf id using cached inner nodes only (inner
+   levels are fetched at most once each, §5.3.1). *)
+let rec leaf_id_for t target id =
+  match load_inner_cached t id with
+  | Inner { seps; children; high_key; next } ->
+      if not (below_high target high_key) then begin
+        match next with Some n -> leaf_id_for t target n | None -> raise Retry
+      end
+      else leaf_id_for t target (child_for_key seps children target)
+  | Leaf _ -> id
+
+let lookup_many t ~keys =
+  let targets = List.map (fun key -> (key, (key, min_int))) keys in
+  let routed =
+    List.map
+      (fun (key, target) ->
+        match leaf_id_for t target (root_id t) with
+        | id -> (key, target, Some id)
+        | exception Retry -> (key, target, None))
+      targets
+  in
+  let leaf_ids =
+    List.sort_uniq Int.compare
+      (List.filter_map (fun (_, _, id) -> id) routed)
+  in
+  let cells =
+    Tell_kv.Client.multi_get t.kv (List.map (node_key t) leaf_ids)
+  in
+  let leaves = Hashtbl.create 16 in
+  List.iter2
+    (fun id cell ->
+      match cell with
+      | Some (data, token) -> (
+          match Hashtbl.find_opt t.decoded id with
+          | Some (cached_token, node) when cached_token = token ->
+              Hashtbl.replace leaves id node
+          | _ ->
+              let node = decode_node data in
+              Hashtbl.replace t.decoded id (token, node);
+              Hashtbl.replace leaves id node)
+      | None -> ())
+    leaf_ids cells;
+  List.map
+    (fun (key, _target, leaf_id) ->
+      let fast =
+        match leaf_id with
+        | None -> None
+        | Some id -> (
+            match Hashtbl.find_opt leaves id with
+            | Some (Leaf { entries; high_key; _ })
+              when below_high (key ^ "\x00", min_int) high_key ->
+                (* The whole [key, key^\x00) range lies in this leaf: the
+                   batched copy is authoritative for the key. *)
+                Some
+                  (Array.to_list entries
+                  |> List.filter_map (fun (k, rid) -> if k = key then Some rid else None))
+            | Some (Leaf _) | Some (Inner _) | None -> None)
+      in
+      match fast with
+      | Some rids -> (key, rids)
+      | None ->
+          (* Stale cache, duplicate run spilling into the next leaf, or a
+             routing miss: authoritative slow path. *)
+          (key, lookup t ~key))
+    routed
+
+(* --- bulk construction --------------------------------------------------------- *)
+
+(* Chop [items] into chunks of at most [size], at least half-full where
+   possible (the last two chunks are rebalanced). *)
+let chunk ~size items =
+  let rec go acc current n = function
+    | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+    | item :: rest ->
+        if n = size then go (List.rev current :: acc) [ item ] 1 rest
+        else go acc (item :: current) (n + 1) rest
+  in
+  go [] [] 0 items
+
+let bulk_cells ~name ~entries =
+  let entries =
+    List.sort_uniq
+      (fun (k1, r1) (k2, r2) ->
+        match String.compare k1 k2 with 0 -> Int.compare r1 r2 | c -> c)
+      entries
+  in
+  let next_id = ref 0 in
+  let alloc () =
+    incr next_id;
+    !next_id
+  in
+  let cells = ref [] in
+  let emit id node = cells := (Keys.index_node ~index:name ~node_id:id, encode_node node) :: !cells in
+  (* Build one level of leaves; returns (first entry, node id) per node. *)
+  let first_of group = match group with e :: _ -> e | [] -> ("", 0) in
+  let build_leaves entries =
+    let groups = chunk ~size:(max_leaf_entries / 2 * 3 / 2) entries in
+    let ids = List.map (fun group -> (alloc (), group)) groups in
+    let rec link = function
+      | [] -> []
+      | [ (id, group) ] ->
+          emit id (Leaf { entries = Array.of_list group; high_key = None; next = None });
+          [ (first_of group, id) ]
+      | (id, group) :: ((next_id_, next_group) :: _ as rest) ->
+          emit id
+            (Leaf
+               { entries = Array.of_list group; high_key = Some (first_of next_group); next = Some next_id_ });
+          (first_of group, id) :: link rest
+    in
+    link ids
+  in
+  let rec build_inner children =
+    (* children: (first entry, node id), in order. *)
+    match children with
+    | [] -> assert false
+    | [ (_, id) ] -> id
+    | _ :: _ ->
+        let groups = chunk ~size:(max_inner_entries / 2 * 3 / 2) children in
+        let ids = List.map (fun group -> (alloc (), group)) groups in
+        let rec link = function
+          | [] -> []
+          | [ (id, group) ] ->
+              let seps = List.filteri (fun i _ -> i > 0) (List.map fst group) in
+              emit id
+                (Inner
+                   {
+                     seps = Array.of_list seps;
+                     children = Array.of_list (List.map snd group);
+                     high_key = None;
+                     next = None;
+                   });
+              [ (first_of (List.map fst group), id) ]
+          | (id, group) :: ((next_id_, next_group) :: _ as rest) ->
+              let seps = List.filteri (fun i _ -> i > 0) (List.map fst group) in
+              emit id
+                (Inner
+                   {
+                     seps = Array.of_list seps;
+                     children = Array.of_list (List.map snd group);
+                     high_key = Some (first_of (List.map fst next_group));
+                     next = Some next_id_;
+                   });
+              (first_of (List.map fst group), id) :: link rest
+        in
+        build_inner (link ids)
+  in
+  let root =
+    match entries with
+    | [] ->
+        let id = alloc () in
+        emit id (Leaf { entries = [||]; high_key = None; next = None });
+        id
+    | _ :: _ -> build_inner (build_leaves entries)
+  in
+  let root_cell =
+    let buf = Stdlib.Buffer.create 8 in
+    Codec.put_int buf root;
+    (Keys.index_root ~index:name, Stdlib.Buffer.contents buf)
+  in
+  let counter_cell =
+    (Keys.index_node_counter ~index:name, Tell_kv.Storage_node.encode_counter !next_id)
+  in
+  root_cell :: counter_cell :: !cells
+
+(* --- invariants (test hook) --------------------------------------------------- *)
+
+let check_invariants t =
+  let rec check_node id ~lo ~hi =
+    let node, _ = load_node t id in
+    match node with
+    | Leaf { entries; high_key; _ } ->
+        Array.iteri
+          (fun i e ->
+            (match lo with Some l -> assert (e >= l) | None -> ());
+            (match hi with Some h -> assert (e < h) | None -> ());
+            (match high_key with Some h -> assert (e < h) | None -> ());
+            if i > 0 then assert (entries.(i - 1) <= e))
+          entries
+    | Inner { seps; children; _ } ->
+        assert (Array.length children = Array.length seps + 1);
+        Array.iteri (fun i s -> if i > 0 then assert (seps.(i - 1) < s)) seps;
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some seps.(i - 1) in
+            let hi' = if i = Array.length seps then hi else Some seps.(i) in
+            check_node child ~lo:lo' ~hi:hi')
+          children
+  in
+  check_node (root_id t) ~lo:None ~hi:None

@@ -1,0 +1,61 @@
+(** Latch-free distributed B+tree (§5.3).
+
+    Every tree node is one key-value pair in the shared store; node
+    updates are synchronised exclusively with LL/SC conditional writes and
+    retried on conflict, so no latches exist anywhere and system-wide
+    progress is guaranteed.  Nodes carry B-link-style [high_key]/[next]
+    pointers (Lehman-Yao): a traversal that lands on a node whose range
+    has moved simply walks right, which makes readers correct even while a
+    split by another processing node is mid-flight.
+
+    Following §5.3.1, inner nodes are cached on the processing node; leaf
+    nodes are always fetched from the store.  When a fetched leaf's range
+    contradicts the cached parents (the leaf has split), the cached path
+    is invalidated and refreshed.
+
+    Entries are [(key, rid)] pairs ordered lexicographically; duplicate
+    attribute keys are allowed (the rid disambiguates), and the tree is
+    version-unaware (§5.3.2) — visibility filtering happens in the
+    transaction layer after the record is read. *)
+
+type t
+
+val create : Tell_kv.Client.t -> name:string -> unit
+(** Idempotently initialise the tree (empty root) in the store. *)
+
+val attach : Tell_kv.Client.t -> name:string -> t
+(** A per-processing-node handle with its own inner-node cache. *)
+
+val name : t -> string
+
+val insert : t -> key:string -> rid:int -> unit
+val remove : t -> key:string -> rid:int -> unit
+
+val lookup : t -> key:string -> int list
+(** All rids stored under exactly [key], ascending. *)
+
+val lookup_many : t -> keys:string list -> (string * int list) list
+(** Point lookups for many keys with (at most) one batched store round
+    trip: the cached inner levels route every key to its leaf, the leaves
+    are fetched together, and only keys whose leaf turned out stale fall
+    back to individual traversals.  Results are in input order. *)
+
+val range : t -> lo:string -> hi:string -> (string * int) list
+(** Entries with [lo <= key < hi], in key order. *)
+
+val range_limit : t -> lo:string -> hi:string -> limit:int -> (string * int) list
+
+val cache_size : t -> int
+val invalidate_cache : t -> unit
+
+val bulk_cells : name:string -> entries:(string * int) list -> (string * string) list
+(** Build a complete, balanced tree from sorted [(key, rid)] entries as a
+    list of [(store key, cell value)] pairs — including the root pointer
+    and the node-id counter — ready to be installed with
+    [Tell_kv.Cluster.poke].  The bulk-load path for benchmark populations. *)
+
+(**/**)
+
+val check_invariants : t -> unit
+(** Test hook: walks the whole tree and asserts ordering, fanout, and
+    linkage invariants.  Expensive; simulation-time only. *)

@@ -1,0 +1,234 @@
+module Kv = Tell_kv
+
+type strategy =
+  | Transaction_buffer
+  | Shared_record_buffer of { capacity : int }
+  | Shared_vs_buffer of { capacity : int; unit_size : int }
+
+let strategy_name = function
+  | Transaction_buffer -> "TB"
+  | Shared_record_buffer _ -> "SB"
+  | Shared_vs_buffer { unit_size; _ } -> Printf.sprintf "SBVS%d" unit_size
+
+type entry = {
+  mutable record : Record.t;
+  mutable token : int;
+  mutable validity : Version_set.t;  (* B *)
+  mutable last_used : int;  (* LRU clock *)
+}
+
+type pool = {
+  kv : Kv.Client.t;
+  strategy : strategy;
+  vmax : unit -> Version_set.t;
+  entries : (string, entry) Hashtbl.t;  (* record key -> entry *)
+  units : (string, Version_set.t) Hashtbl.t;  (* cached unit cells (SBVS) *)
+  decode_memo : (string, int * Record.t) Hashtbl.t;
+      (* key -> (LL/SC token, decoded record): pure parse memoisation —
+         every strategy still performs its store fetches; only re-decoding
+         an unchanged cell is skipped.  Records are immutable. *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable extra_requests : int;
+}
+
+let create kv strategy ~vmax =
+  {
+    kv;
+    strategy;
+    vmax;
+    entries = Hashtbl.create 1024;
+    units = Hashtbl.create 256;
+    decode_memo = Hashtbl.create 4096;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    extra_requests = 0;
+  }
+
+let strategy t = t.strategy
+let hits t = t.hits
+let misses t = t.misses
+let extra_requests t = t.extra_requests
+
+let capacity_of = function
+  | Transaction_buffer -> 0
+  | Shared_record_buffer { capacity } -> capacity
+  | Shared_vs_buffer { capacity; _ } -> capacity
+
+let unit_key ~table ~rid ~unit_size = Keys.version_set ~table ~unit_id:(rid / unit_size)
+
+let touch t entry =
+  t.clock <- t.clock + 1;
+  entry.last_used <- t.clock
+
+(* Cheap LRU: when over capacity, evict the stalest ~1/8 of sampled
+   entries.  Exact LRU would need an intrusive list; sampling is what
+   production caches (e.g. Redis) do and keeps the hot path O(1). *)
+let maybe_evict t =
+  let capacity = capacity_of t.strategy in
+  if capacity > 0 && Hashtbl.length t.entries > capacity then begin
+    let victims = ref [] in
+    let n = ref 0 in
+    let threshold = t.clock - (capacity / 2) in
+    Hashtbl.iter
+      (fun key entry ->
+        if !n < capacity / 8 && entry.last_used < threshold then begin
+          victims := key :: !victims;
+          incr n
+        end)
+      t.entries;
+    (match !victims with
+    | [] ->
+        (* Everything is recent: drop arbitrary entries to bound memory. *)
+        let dropped = ref 0 in
+        Hashtbl.iter
+          (fun key _ -> if !dropped < capacity / 8 then begin
+               victims := key :: !victims;
+               incr dropped
+             end)
+          t.entries
+    | _ :: _ -> ());
+    List.iter (Hashtbl.remove t.entries) !victims
+  end
+
+let decode_memo_cap = 16_384
+
+let decode_record t ~key ~data ~token =
+  match Hashtbl.find_opt t.decode_memo key with
+  | Some (cached_token, record) when cached_token = token -> record
+  | _ ->
+      let record = Record.decode data in
+      if Hashtbl.length t.decode_memo >= decode_memo_cap then Hashtbl.reset t.decode_memo;
+      Hashtbl.replace t.decode_memo key (token, record);
+      record
+
+let fetch_from_store t ~key =
+  match Kv.Client.get t.kv key with
+  | None -> None
+  | Some (data, token) -> Some (decode_record t ~key ~data ~token, token)
+
+let install t ~key ~record ~token ~validity =
+  (match Hashtbl.find_opt t.entries key with
+  | Some entry ->
+      entry.record <- record;
+      entry.token <- token;
+      entry.validity <- validity;
+      touch t entry
+  | None ->
+      let entry = { record; token; validity; last_used = 0 } in
+      touch t entry;
+      Hashtbl.replace t.entries key entry);
+  maybe_evict t
+
+(* Fetch from the store and install tagged with V_max: all transactions in
+   V_max committed before this fetch, so V_max is a sound validity set. *)
+let refetch t ~key =
+  let validity = t.vmax () in
+  match fetch_from_store t ~key with
+  | None ->
+      Hashtbl.remove t.entries key;
+      None
+  | Some (record, token) ->
+      install t ~key ~record ~token ~validity;
+      Some (record, token)
+
+let read_tb t ~key =
+  t.misses <- t.misses + 1;
+  fetch_from_store t ~key
+
+let read_sb t ~snapshot ~key =
+  match Hashtbl.find_opt t.entries key with
+  | Some entry when Version_set.subset snapshot entry.validity ->
+      t.hits <- t.hits + 1;
+      touch t entry;
+      Some (entry.record, entry.token)
+  | Some _ | None ->
+      t.misses <- t.misses + 1;
+      refetch t ~key
+
+let read_sbvs t ~snapshot ~key ~cell_key =
+  match Hashtbl.find_opt t.entries key with
+  | Some entry when Version_set.subset snapshot entry.validity ->
+      t.hits <- t.hits + 1;
+      touch t entry;
+      Some (entry.record, entry.token)
+  | Some entry ->
+      (* The cache might be outdated: fetch the unit's version-set cell
+         first; if it equals the entry's tag, no write touched the unit
+         since the record was tagged and the copy is still valid. *)
+      t.extra_requests <- t.extra_requests + 1;
+      (match Kv.Client.get t.kv cell_key with
+      | Some (cell, _) ->
+          let remote = Version_set.decode cell in
+          if Version_set.equal remote entry.validity then begin
+            t.hits <- t.hits + 1;
+            touch t entry;
+            Some (entry.record, entry.token)
+          end
+          else begin
+            t.misses <- t.misses + 1;
+            (* Order matters: the record is fetched after the cell, so a
+               copy tagged [remote] shows every write the cell accounts. *)
+            match fetch_from_store t ~key with
+            | None ->
+                Hashtbl.remove t.entries key;
+                None
+            | Some (record, token) ->
+                install t ~key ~record ~token ~validity:remote;
+                Some (record, token)
+          end
+      | None ->
+          t.misses <- t.misses + 1;
+          refetch t ~key)
+  | None ->
+      t.misses <- t.misses + 1;
+      refetch t ~key
+
+let read t ~snapshot ~table ~rid =
+  let key = Keys.record ~table ~rid in
+  match t.strategy with
+  | Transaction_buffer -> read_tb t ~key
+  | Shared_record_buffer _ -> read_sb t ~snapshot ~key
+  | Shared_vs_buffer { unit_size; _ } ->
+      read_sbvs t ~snapshot ~key ~cell_key:(unit_key ~table ~rid ~unit_size)
+
+(* Grow the unit cell with an LL/SC union loop so that it never shrinks:
+   monotonicity is what makes the [B' = B] fast path above sound. *)
+let rec grow_unit_cell t ~cell_key ~tid ~attempts =
+  if attempts <= 0 then ()
+  else begin
+    t.extra_requests <- t.extra_requests + 1;
+    match Kv.Client.get t.kv cell_key with
+    | None -> (
+        let fresh = Version_set.add (t.vmax ()) tid in
+        match Kv.Client.put_if t.kv cell_key None (Version_set.encode fresh) with
+        | `Ok _ -> Hashtbl.replace t.units cell_key fresh
+        | `Conflict -> grow_unit_cell t ~cell_key ~tid ~attempts:(attempts - 1))
+    | Some (cell, token) -> (
+        let merged = Version_set.add (Version_set.union (Version_set.decode cell) (t.vmax ())) tid in
+        match Kv.Client.put_if t.kv cell_key (Some token) (Version_set.encode merged) with
+        | `Ok _ -> Hashtbl.replace t.units cell_key merged
+        | `Conflict -> grow_unit_cell t ~cell_key ~tid ~attempts:(attempts - 1))
+  end
+
+let note_applied t ~table ~rid ~record ~token ~tid =
+  match t.strategy with
+  | Transaction_buffer -> ()
+  | Shared_record_buffer _ ->
+      let key = Keys.record ~table ~rid in
+      let validity = Version_set.add (t.vmax ()) tid in
+      install t ~key ~record ~token ~validity
+  | Shared_vs_buffer { unit_size; _ } ->
+      let key = Keys.record ~table ~rid in
+      let cell_key = unit_key ~table ~rid ~unit_size in
+      grow_unit_cell t ~cell_key ~tid ~attempts:8;
+      let validity =
+        match Hashtbl.find_opt t.units cell_key with
+        | Some cell -> cell
+        | None -> Version_set.add (t.vmax ()) tid
+      in
+      install t ~key ~record ~token ~validity
+
+let invalidate t ~table ~rid = Hashtbl.remove t.entries (Keys.record ~table ~rid)

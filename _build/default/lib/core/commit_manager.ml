@@ -1,0 +1,293 @@
+module Sim = Tell_sim
+module Kv = Tell_kv
+module ISet = Set.Make (Int)
+
+type start_reply = { tid : int; snapshot : Version_set.t; lav : int }
+
+type t = {
+  cluster : Kv.Cluster.t;
+  engine : Sim.Engine.t;
+  id : int;
+  peers : int list;
+  group : Sim.Engine.Group.t;
+  cpu : Sim.Resource.t;
+  kv : Kv.Client.t;
+  range_size : int;
+  sync_interval_ns : int;
+  retire_after_ns : int;
+  mutable range_next : int;
+  mutable range_end : int;  (* exclusive *)
+  mutable range_acquired_at : int;
+  mutable range_refill : unit Sim.Ivar.t option;
+  mutable decided_base : int;
+  decided : (int, bool) Hashtbl.t;  (* tid > decided_base -> committed? *)
+  mutable committed_above : ISet.t;
+  mutable cached_snapshot : Version_set.t option;
+  active : (int, int) Hashtbl.t;  (* tid -> snapshot base at start *)
+  mutable peer_lavs : (int, int) Hashtbl.t;
+  mutable alive : bool;
+}
+
+let make cluster ~id ?(peers = []) ?(range_size = 64) ?(sync_interval_ns = 1_000_000) () =
+  let engine = Kv.Cluster.engine cluster in
+  let label = Printf.sprintf "cm%d" id in
+  let group = Sim.Engine.make_group engine label in
+  let t =
+    {
+      cluster;
+      engine;
+      id;
+      peers = List.filter (fun p -> p <> id) peers;
+      group;
+      cpu = Sim.Resource.create engine ~servers:2 label;
+      kv = Kv.Client.create cluster ~group;
+      range_size;
+      sync_interval_ns;
+      retire_after_ns = 4 * sync_interval_ns;
+      range_next = 1;
+      range_end = 1;
+      range_acquired_at = 0;
+      range_refill = None;
+      decided_base = 0;
+      decided = Hashtbl.create 256;
+      committed_above = ISet.empty;
+      cached_snapshot = None;
+      active = Hashtbl.create 64;
+      peer_lavs = Hashtbl.create 4;
+      alive = true;
+    }
+  in
+  t
+
+let id t = t.id
+let alive t = t.alive
+
+let crash t =
+  t.alive <- false;
+  Sim.Engine.Group.kill t.group
+
+(* --- snapshot bookkeeping ------------------------------------------------ *)
+
+let invalidate t = t.cached_snapshot <- None
+
+let advance_base t =
+  let advanced = ref false in
+  while Hashtbl.mem t.decided (t.decided_base + 1) do
+    Hashtbl.remove t.decided (t.decided_base + 1);
+    t.decided_base <- t.decided_base + 1;
+    t.committed_above <- ISet.remove t.decided_base t.committed_above;
+    advanced := true
+  done;
+  if !advanced then invalidate t
+
+let mark_decided t ~tid ~committed =
+  if tid > t.decided_base && not (Hashtbl.mem t.decided tid) then begin
+    Hashtbl.replace t.decided tid committed;
+    if committed then t.committed_above <- ISet.add tid t.committed_above;
+    invalidate t;
+    advance_base t
+  end
+
+let snapshot_of_state t =
+  match t.cached_snapshot with
+  | Some s -> s
+  | None ->
+      let s =
+        ISet.fold
+          (fun tid acc -> Version_set.add acc tid)
+          t.committed_above
+          (Version_set.of_base t.decided_base)
+      in
+      t.cached_snapshot <- Some s;
+      s
+
+let local_lav t =
+  Hashtbl.fold (fun _ b acc -> min b acc) t.active t.decided_base
+
+let global_lav t =
+  Hashtbl.fold (fun _ lav acc -> min lav acc) t.peer_lavs (local_lav t)
+
+(* --- tid ranges ----------------------------------------------------------- *)
+
+let acquire_range t =
+  let top = Kv.Client.increment t.kv Keys.tid_counter t.range_size in
+  t.range_next <- top - t.range_size + 1;
+  t.range_end <- top + 1;
+  t.range_acquired_at <- Sim.Engine.now t.engine
+
+(* Acquiring a range suspends on a store round trip, so concurrent
+   [start] calls must not each fetch their own range (the overwritten
+   ranges would hold every snapshot's base back forever): the first caller
+   refills, the others wait on the refill ivar and retry. *)
+let rec next_tid t =
+  if t.range_next < t.range_end then begin
+    let tid = t.range_next in
+    t.range_next <- tid + 1;
+    tid
+  end
+  else begin
+    match t.range_refill with
+    | Some refill ->
+        Sim.Ivar.read refill;
+        next_tid t
+    | None ->
+        let refill = Sim.Ivar.create t.engine in
+        t.range_refill <- Some refill;
+        Fun.protect
+          ~finally:(fun () ->
+            t.range_refill <- None;
+            Sim.Ivar.fill refill ())
+          (fun () -> acquire_range t);
+        next_tid t
+  end
+
+(* Give back the unassigned tail of a stale range by declaring those tids
+   aborted: otherwise an idle commit manager blocks every snapshot's base
+   from advancing past its reserved range. *)
+let retire_stale_range t =
+  if
+    t.range_next < t.range_end
+    && Sim.Engine.now t.engine - t.range_acquired_at > t.retire_after_ns
+  then begin
+    for tid = t.range_next to t.range_end - 1 do
+      mark_decided t ~tid ~committed:false
+    done;
+    t.range_next <- t.range_end
+  end
+
+(* --- state publication and merge (§4.2) ----------------------------------- *)
+
+let encode_state t =
+  let buf = Buffer.create 256 in
+  Codec.put_int buf t.decided_base;
+  Codec.put_int buf (Hashtbl.length t.decided);
+  Hashtbl.iter
+    (fun tid committed ->
+      Codec.put_int buf tid;
+      Buffer.add_char buf (if committed then '\x01' else '\x00'))
+    t.decided;
+  Codec.put_int buf (local_lav t);
+  Buffer.contents buf
+
+let decode_state s =
+  let base, pos = Codec.get_int s 0 in
+  let n, pos = Codec.get_int s pos in
+  let pos = ref pos in
+  let decided =
+    List.init n (fun _ ->
+        let tid, p = Codec.get_int s !pos in
+        let committed = s.[p] = '\x01' in
+        pos := p + 1;
+        (tid, committed))
+  in
+  let lav, _ = Codec.get_int s !pos in
+  (base, decided, lav)
+
+let merge_peer_state t ~peer ~state =
+  let peer_base, decided, peer_lav = decode_state state in
+  if peer_base > t.decided_base then begin
+    (* Everything up to the peer's base is decided; commit status of the
+       skipped ids is irrelevant because aborted updates were rolled back
+       before being reported. *)
+    t.decided_base <- peer_base;
+    let stale = Hashtbl.fold (fun tid _ acc -> if tid <= peer_base then tid :: acc else acc) t.decided [] in
+    List.iter (Hashtbl.remove t.decided) stale;
+    t.committed_above <- ISet.filter (fun v -> v > peer_base) t.committed_above;
+    invalidate t
+  end;
+  List.iter (fun (tid, committed) -> mark_decided t ~tid ~committed) decided;
+  Hashtbl.replace t.peer_lavs peer peer_lav
+
+let publish_state t = Kv.Client.put t.kv (Keys.commit_manager_state ~cm_id:t.id) (encode_state t)
+
+let pull_peer_states t =
+  match t.peers with
+  | [] -> ()
+  | peers ->
+      let keys = List.map (fun p -> Keys.commit_manager_state ~cm_id:p) peers in
+      let replies = Kv.Client.multi_get t.kv keys in
+      List.iter2
+        (fun peer reply ->
+          match reply with
+          | Some (state, _token) -> merge_peer_state t ~peer ~state
+          | None -> ())
+        peers replies
+
+let start_sync_fiber t =
+  Sim.Engine.spawn t.engine ~group:t.group (fun () ->
+      while true do
+        Sim.Engine.sleep t.engine t.sync_interval_ns;
+        retire_stale_range t;
+        publish_state t;
+        pull_peer_states t
+      done)
+
+(* --- remote interface ------------------------------------------------------ *)
+
+let rpc t ~demand f =
+  let net = Kv.Cluster.net t.cluster in
+  Sim.Net.transfer net ~bytes:48;
+  if not t.alive then begin
+    Sim.Engine.sleep t.engine (Kv.Cluster.config t.cluster).client_timeout_ns;
+    raise (Kv.Op.Unavailable (Printf.sprintf "cm%d" t.id))
+  end;
+  Sim.Resource.use t.cpu ~demand;
+  let reply = f () in
+  Sim.Net.transfer net ~bytes:64;
+  reply
+
+let start t ~from_group:_ =
+  rpc t ~demand:900 (fun () ->
+      let tid = next_tid t in
+      let snapshot = snapshot_of_state t in
+      Hashtbl.replace t.active tid (Version_set.base snapshot);
+      { tid; snapshot; lav = global_lav t })
+
+let set_committed t ~tid =
+  rpc t ~demand:350 (fun () ->
+      Hashtbl.remove t.active tid;
+      mark_decided t ~tid ~committed:true)
+
+let set_aborted t ~tid =
+  rpc t ~demand:350 (fun () ->
+      Hashtbl.remove t.active tid;
+      mark_decided t ~tid ~committed:false)
+
+(* --- introspection / recovery ---------------------------------------------- *)
+
+let current_snapshot t = snapshot_of_state t
+let current_lav t = global_lav t
+let active_count t = Hashtbl.length t.active
+
+let recover t =
+  (* Last used tid: the shared counter is authoritative. *)
+  (match Kv.Client.get t.kv Keys.tid_counter with
+  | Some _ -> ()
+  | None -> ());
+  (* Bootstrap from every published manager state, own included. *)
+  let published = Kv.Client.scan_all t.kv ~prefix:Keys.commit_manager_prefix in
+  List.iter
+    (fun (key, state, _token) ->
+      let peer = int_of_string (String.sub key 5 (String.length key - 5)) in
+      if peer <> t.id then merge_peer_state t ~peer ~state
+      else begin
+        let base, decided, _lav = decode_state state in
+        if base > t.decided_base then t.decided_base <- base;
+        List.iter (fun (tid, committed) -> mark_decided t ~tid ~committed) decided
+      end)
+    published;
+  (* Replay the transaction-log tail: entries above our base tell us about
+     commits the dead manager acknowledged after its last publication. *)
+  let log = Kv.Client.scan_all t.kv ~prefix:Keys.log_prefix in
+  List.iter
+    (fun (key, entry, _token) ->
+      let tid = Keys.tid_of_log_key key in
+      if tid > t.decided_base && String.length entry > 0 then
+        if entry.[0] = '\x01' then mark_decided t ~tid ~committed:true)
+    log;
+  invalidate t
+
+let create cluster ~id ?peers ?range_size ?sync_interval_ns () =
+  let t = make cluster ~id ?peers ?range_size ?sync_interval_ns () in
+  start_sync_fiber t;
+  t

@@ -1,0 +1,63 @@
+(** The commit manager (§4.2): a lightweight service that hands out
+    system-wide unique transaction ids, snapshot descriptors, and the
+    lowest active version number (lav).
+
+    Transaction ids come from an atomically incremented counter in the
+    shared store, acquired in continuous ranges so that the counter is not
+    a bottleneck.  Several commit managers can run in parallel: they
+    publish their state (decided-transaction sets and local lav) to the
+    store at a fixed synchronisation interval and merge each other's
+    publications, so every manager serves a globally consistent — at most
+    interval-delayed — snapshot.  Operating on a delayed snapshot is
+    correct (it can only raise the abort rate, §4.2).
+
+    The snapshot descriptor is a {!Version_set.t}: base version [b] (that
+    and all earlier transactions are decided) plus the set [N] of newly
+    committed ids above [b].  The base may advance through {e aborted}
+    ids: their updates have been rolled back before [set_aborted], so
+    treating them as visible is harmless. *)
+
+type t
+
+type start_reply = {
+  tid : int;
+  snapshot : Version_set.t;
+  lav : int;  (** versions [<= lav] are visible to every active transaction *)
+}
+
+val create :
+  Tell_kv.Cluster.t ->
+  id:int ->
+  ?peers:int list ->
+  ?range_size:int ->
+  ?sync_interval_ns:int ->
+  unit ->
+  t
+(** [peers] lists the ids of the other commit managers whose published
+    state this one merges.  The synchronisation fiber starts immediately
+    (1 ms interval by default, as in §6.3.3). *)
+
+val id : t -> int
+val alive : t -> bool
+val crash : t -> unit
+
+(** {1 Remote interface used by processing nodes}
+
+    Each call models one network round trip to the manager plus its
+    service time, executed by the calling fiber.  Raises
+    {!Tell_kv.Op.Unavailable} when the manager has crashed. *)
+
+val start : t -> from_group:Tell_sim.Engine.Group.t -> start_reply
+val set_committed : t -> tid:int -> unit
+val set_aborted : t -> tid:int -> unit
+
+(** {1 Introspection and recovery} *)
+
+val current_snapshot : t -> Version_set.t
+val current_lav : t -> int
+val active_count : t -> int
+
+val recover : t -> unit
+(** Rebuild state after taking over from a failed manager (§4.4.3): reads
+    the tid counter, the peers' published states, and the tail of the
+    transaction log. *)

@@ -1,0 +1,144 @@
+module Sim = Tell_sim
+module Kv = Tell_kv
+
+type t = {
+  engine : Sim.Engine.t;
+  cluster : Kv.Cluster.t;
+  mutable cms : Commit_manager.t list;
+  mutable pns : Pn.t list;
+  mutable crashed_pns : Pn.t list;
+  mutable next_pn_id : int;
+  mutable next_cm_id : int;
+  cm_sync_interval_ns : int;
+  cm_range_size : int;
+  recovery : Recovery.t Lazy.t;
+  gc : Gc_task.t Lazy.t;
+}
+
+let create engine ?(kv_config = Kv.Cluster.default_config) ?(n_commit_managers = 1)
+    ?(cm_sync_interval_ns = 1_000_000) ?(cm_range_size = 64) () =
+  let cluster = Kv.Cluster.create engine kv_config in
+  Kv.Cluster.start_failure_detector cluster;
+  (* §5.2 extension: selection/projection push-down into storage nodes. *)
+  Kv.Cluster.set_pushdown_evaluator cluster Pushdown.evaluator;
+  let peer_ids = List.init n_commit_managers (fun i -> i) in
+  let cms =
+    List.map
+      (fun id ->
+        Commit_manager.create cluster ~id ~peers:peer_ids ~range_size:cm_range_size
+          ~sync_interval_ns:cm_sync_interval_ns ())
+      peer_ids
+  in
+  let rec t =
+    {
+      engine;
+      cluster;
+      cms;
+      pns = [];
+      crashed_pns = [];
+      next_pn_id = 0;
+      next_cm_id = n_commit_managers;
+      cm_sync_interval_ns;
+      cm_range_size;
+      recovery =
+        lazy
+          (match t.cms with
+          | cm :: _ -> Recovery.create t.cluster ~cm
+          | [] -> invalid_arg "Database: no commit manager");
+      gc =
+        lazy
+          (match t.cms with
+          | cm :: _ ->
+              Gc_task.create t.cluster ~cm ~group:(Kv.Cluster.mgmt_group t.cluster)
+          | [] -> invalid_arg "Database: no commit manager");
+    }
+  in
+  t
+
+let engine t = t.engine
+let cluster t = t.cluster
+let commit_managers t = t.cms
+let pns t = t.pns
+
+let add_pn t ?cores ?cost ?buffer () =
+  let pn =
+    Pn.create t.cluster ~id:t.next_pn_id ?cores ?cost ?buffer ~commit_managers:t.cms ()
+  in
+  t.next_pn_id <- t.next_pn_id + 1;
+  t.pns <- t.pns @ [ pn ];
+  pn
+
+let add_commit_manager t =
+  let id = t.next_cm_id in
+  t.next_cm_id <- id + 1;
+  let peers = id :: List.map Commit_manager.id t.cms in
+  let cm =
+    Commit_manager.create t.cluster ~id ~peers ~range_size:t.cm_range_size
+      ~sync_interval_ns:t.cm_sync_interval_ns ()
+  in
+  Commit_manager.recover cm;
+  t.cms <- t.cms @ [ cm ];
+  cm
+
+let crash_pn t pn =
+  Pn.crash pn;
+  t.pns <- List.filter (fun p -> Pn.id p <> Pn.id pn) t.pns;
+  t.crashed_pns <- pn :: t.crashed_pns
+
+let crash_storage_node t sn_id = Kv.Cluster.crash_node t.cluster sn_id
+
+let recover_crashed_pns t =
+  match t.crashed_pns with
+  | [] -> 0
+  | crashed ->
+      let recovery = Lazy.force t.recovery in
+      let before = Recovery.recovered_txns recovery in
+      Recovery.recover_processing_nodes recovery ~failed_pn_ids:(List.map Pn.id crashed);
+      t.crashed_pns <- [];
+      Recovery.recovered_txns recovery - before
+
+let tables t =
+  match t.pns with
+  | [] -> []
+  | pn :: _ ->
+      let cells = Kv.Client.scan_all (Pn.kv pn) ~prefix:"s/" in
+      List.map (fun (_, data, _) -> Schema.decode_table data) cells
+
+let gc t = Lazy.force t.gc
+
+let with_txn pn f =
+  let txn = Txn.begin_txn pn in
+  match f txn with
+  | result ->
+      if Txn.status txn = Txn.Running then Txn.commit txn;
+      result
+  | exception e ->
+      (match e with
+      | Txn.Conflict _ -> ()  (* commit already aborted the transaction *)
+      | _ -> if Txn.status txn = Txn.Running then ( try Txn.abort txn with _ -> () ));
+      raise e
+
+let with_txn_retry ?(attempts = 16) pn f =
+  let rec go n =
+    match with_txn pn f with
+    | result -> result
+    | exception Txn.Conflict _ when n > 1 -> go (n - 1)
+  in
+  go attempts
+
+let exec_in txn sql = Sql_plan.execute_string txn sql
+
+let exec pn sql =
+  let statement = Sql_parser.parse sql in
+  match statement with
+  | Sql_ast.Create_table _ | Sql_ast.Create_index _ ->
+      (* DDL is not transactional: execute directly. *)
+      let txn = Txn.begin_txn pn in
+      let result = Sql_plan.execute txn statement in
+      Txn.commit txn;
+      result
+  | _ -> with_txn pn (fun txn -> Sql_plan.execute txn statement)
+
+let rows = function
+  | Sql_plan.Rows { rows; _ } -> rows
+  | Sql_plan.Affected _ | Sql_plan.Created -> []

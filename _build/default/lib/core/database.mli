@@ -1,0 +1,57 @@
+(** Top-level façade: a Tell database deployment inside a simulation.
+
+    Owns the storage cluster, the commit-manager group, and the processing
+    nodes, and offers convenience wrappers for transactional work and
+    ad-hoc SQL.  Mirrors Figure 3: PNs and commit managers can be added
+    (elasticity) or crashed (fail-over) at any time. *)
+
+type t
+
+val create :
+  Tell_sim.Engine.t ->
+  ?kv_config:Tell_kv.Cluster.config ->
+  ?n_commit_managers:int ->
+  ?cm_sync_interval_ns:int ->
+  ?cm_range_size:int ->
+  unit ->
+  t
+
+val engine : t -> Tell_sim.Engine.t
+val cluster : t -> Tell_kv.Cluster.t
+val commit_managers : t -> Commit_manager.t list
+
+val add_pn : t -> ?cores:int -> ?cost:Pn.cost_model -> ?buffer:Buffer_pool.strategy -> unit -> Pn.t
+(** Elastically add a processing node (no data movement — §2.1). *)
+
+val pns : t -> Pn.t list
+val add_commit_manager : t -> Commit_manager.t
+val crash_pn : t -> Pn.t -> unit
+val crash_storage_node : t -> int -> unit
+val recover_crashed_pns : t -> int
+(** Run the management-node recovery process over all crashed PNs;
+    returns the number of transactions rolled back. *)
+
+val tables : t -> Schema.table list
+(** All table descriptors currently registered in the store. *)
+
+val gc : t -> Gc_task.t
+(** The lazy garbage collector (management side). *)
+
+(** {1 Transactions} *)
+
+val with_txn : Pn.t -> (Txn.t -> 'a) -> 'a
+(** Begin, run, commit; aborts (without re-raising masking) on exception.
+    Raises {!Txn.Conflict} when the commit loses a write-write race. *)
+
+val with_txn_retry : ?attempts:int -> Pn.t -> (Txn.t -> 'a) -> 'a
+(** Like {!with_txn} but restarts the whole body on {!Txn.Conflict}. *)
+
+(** {1 SQL} *)
+
+val exec : Pn.t -> string -> Sql_plan.result
+(** Parse and execute one statement in an auto-commit transaction. *)
+
+val exec_in : Txn.t -> string -> Sql_plan.result
+
+val rows : Sql_plan.result -> Value.t array list
+(** Convenience extractor; empty for non-queries. *)

@@ -1,0 +1,97 @@
+(* Lazy garbage collection (§5.4).
+
+   The eager strategy in [Txn] compacts a record whenever it is written
+   back; this background task covers rarely updated records: it sweeps all
+   data records, drops versions no active transaction can reach, removes
+   records whose surviving version is a tombstone, and prunes index
+   entries whose key no longer appears in any stored version of the
+   referenced record. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+
+type stats = {
+  mutable records_scanned : int;
+  mutable versions_dropped : int;
+  mutable records_dropped : int;
+  mutable index_entries_dropped : int;
+}
+
+type t = { kv : Kv.Client.t; cm : Commit_manager.t; stats : stats }
+
+let create cluster ~cm ~group =
+  {
+    kv = Kv.Client.create cluster ~group;
+    cm;
+    stats =
+      { records_scanned = 0; versions_dropped = 0; records_dropped = 0; index_entries_dropped = 0 };
+  }
+
+let stats t = t.stats
+
+let sweep_records t ~lav =
+  let cells = Kv.Client.scan_all t.kv ~prefix:"r/" in
+  List.iter
+    (fun (key, data, token) ->
+      t.stats.records_scanned <- t.stats.records_scanned + 1;
+      let record = Record.decode data in
+      let compacted, removed = Record.gc record ~lav in
+      match removed with
+      | [] -> ()
+      | _ :: _ ->
+          t.stats.versions_dropped <- t.stats.versions_dropped + List.length removed;
+          if Record.is_empty compacted then begin
+            (* Skip on conflict: a concurrent writer revived the record. *)
+            (match Kv.Client.remove_if t.kv key (Some token) with
+            | `Ok -> t.stats.records_dropped <- t.stats.records_dropped + 1
+            | `Conflict -> ())
+          end
+          else ignore (Kv.Client.put_if t.kv key (Some token) (Record.encode compacted)))
+    cells
+
+(* An index entry (a, rid) is dead when no stored version of record [rid]
+   still carries key [a] (the V_a \ G = ∅ condition of §5.4 after record
+   compaction). *)
+let sweep_index t ~table ~(index : Schema.index) =
+  let tree = Btree.attach t.kv ~name:index.idx_name in
+  let entries = Btree.range tree ~lo:"" ~hi:"\xff\xff\xff\xff" in
+  List.iter
+    (fun (entry_key, rid) ->
+      let record_key = Keys.record ~table ~rid in
+      let live =
+        match Kv.Client.get t.kv record_key with
+        | None -> false
+        | Some (data, _) ->
+            List.exists
+              (fun (v : Record.version) ->
+                match v.payload with
+                | Record.Tombstone -> false
+                | Record.Tuple tuple ->
+                    Codec.encode_key (Schema.key_of_tuple ~columns:index.idx_columns tuple)
+                    = entry_key)
+              (Record.versions (Record.decode data))
+      in
+      if not live then begin
+        Btree.remove tree ~key:entry_key ~rid;
+        t.stats.index_entries_dropped <- t.stats.index_entries_dropped + 1
+      end)
+    entries
+
+let run_once t ~tables =
+  let lav = Commit_manager.current_lav t.cm in
+  sweep_records t ~lav;
+  List.iter
+    (fun (table : Schema.table) ->
+      List.iter
+        (fun index -> sweep_index t ~table:table.tbl_name ~index)
+        (Schema.all_indexes table))
+    tables
+
+(* The periodic background fiber ("e.g., every hour", §5.4 — scaled to
+   simulation time). *)
+let start_periodic t ~engine ~group ~period_ns ~tables =
+  Sim.Engine.spawn engine ~group (fun () ->
+      while true do
+        Sim.Engine.sleep engine period_ns;
+        run_once t ~tables
+      done)

@@ -1,0 +1,145 @@
+module Sim = Tell_sim
+module Kv = Tell_kv
+
+type cost_model = {
+  cpu_per_read_ns : int;
+  cpu_per_write_ns : int;
+  cpu_per_commit_ns : int;
+  cpu_per_statement_ns : int;
+}
+
+let default_cost_model =
+  { cpu_per_read_ns = 2_000; cpu_per_write_ns = 3_000; cpu_per_commit_ns = 10_000; cpu_per_statement_ns = 3_000 }
+
+type rid_range = { mutable next : int; mutable stop : int (* exclusive *) }
+
+type t = {
+  cluster : Kv.Cluster.t;
+  engine : Sim.Engine.t;
+  id : int;
+  group : Sim.Engine.Group.t;
+  cpu : Sim.Resource.t;
+  kv : Kv.Client.t;
+  cost : cost_model;
+  mutable commit_managers : Commit_manager.t array;
+  mutable cm_cursor : int;
+  mutable pool : Buffer_pool.pool option;
+  buffer_strategy : Buffer_pool.strategy;
+  mutable vmax : Version_set.t;
+  rid_ranges : (string, rid_range) Hashtbl.t;
+  btrees : (string, Btree.t) Hashtbl.t;
+  schemas : (string, Schema.table) Hashtbl.t;
+  mutable alive : bool;
+}
+
+let rid_range_size = 64
+
+let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
+    ?(buffer = Buffer_pool.Transaction_buffer) ~commit_managers () =
+  let engine = Kv.Cluster.engine cluster in
+  let label = Printf.sprintf "pn%d" id in
+  let group = Sim.Engine.make_group engine label in
+  let t =
+    {
+      cluster;
+      engine;
+      id;
+      group;
+      cpu = Sim.Resource.create engine ~servers:cores label;
+      kv = Kv.Client.create cluster ~group;
+      cost;
+      commit_managers = Array.of_list commit_managers;
+      cm_cursor = id;
+      pool = None;
+      buffer_strategy = buffer;
+      vmax = Version_set.empty;
+      rid_ranges = Hashtbl.create 16;
+      btrees = Hashtbl.create 16;
+      schemas = Hashtbl.create 16;
+      alive = true;
+    }
+  in
+  t.pool <- Some (Buffer_pool.create t.kv buffer ~vmax:(fun () -> t.vmax));
+  t
+
+let id t = t.id
+let group t = t.group
+let kv t = t.kv
+let cluster t = t.cluster
+let engine t = t.engine
+let cost t = t.cost
+let alive t = t.alive
+
+let pool t =
+  match t.pool with Some p -> p | None -> invalid_arg "Pn.pool: not initialised"
+
+let crash t =
+  t.alive <- false;
+  Sim.Engine.Group.kill t.group
+
+let charge t demand = Sim.Resource.use t.cpu ~demand
+
+let commit_manager t =
+  let n = Array.length t.commit_managers in
+  if n = 0 then invalid_arg "Pn.commit_manager: none configured";
+  let rec pick attempts =
+    if attempts = 0 then t.commit_managers.(t.cm_cursor mod n)
+    else begin
+      let cm = t.commit_managers.(t.cm_cursor mod n) in
+      if Commit_manager.alive cm then cm
+      else begin
+        t.cm_cursor <- t.cm_cursor + 1;
+        pick (attempts - 1)
+      end
+    end
+  in
+  pick n
+
+let note_started_snapshot t snapshot =
+  if Version_set.base snapshot >= Version_set.base t.vmax then t.vmax <- snapshot
+
+let vmax t = t.vmax
+
+let alloc_rid t ~table =
+  let range =
+    match Hashtbl.find_opt t.rid_ranges table with
+    | Some r -> r
+    | None ->
+        let r = { next = 1; stop = 1 } in
+        Hashtbl.replace t.rid_ranges table r;
+        r
+  in
+  if range.next >= range.stop then begin
+    let top = Kv.Client.increment t.kv (Keys.rid_counter ~table) rid_range_size in
+    range.next <- top - rid_range_size + 1;
+    range.stop <- top + 1
+  end;
+  let rid = range.next in
+  range.next <- rid + 1;
+  rid
+
+let max_rid t ~table =
+  match Kv.Client.get t.kv (Keys.rid_counter ~table) with
+  | Some (data, _) when String.length data = 8 -> Int64.to_int (String.get_int64_le data 0)
+  | Some _ | None -> 0
+
+let btree t ~index =
+  match Hashtbl.find_opt t.btrees index with
+  | Some handle -> handle
+  | None ->
+      let handle = Btree.attach t.kv ~name:index in
+      Hashtbl.replace t.btrees index handle;
+      handle
+
+let schema t ~table =
+  match Hashtbl.find_opt t.schemas table with
+  | Some s -> s
+  | None -> (
+      match Kv.Client.get t.kv (Keys.schema ~table) with
+      | Some (data, _) ->
+          let s = Schema.decode_table data in
+          Hashtbl.replace t.schemas table s;
+          s
+      | None -> raise (Schema.Schema_error (Printf.sprintf "unknown table %s" table)))
+
+let forget_schema t ~table = Hashtbl.remove t.schemas table

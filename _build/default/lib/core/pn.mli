@@ -1,0 +1,69 @@
+(** A processing node (PN): query processing + transaction management on
+    top of the shared store (Figure 3).
+
+    PNs are stateless with respect to the data: everything they cache
+    (buffer pool, inner B+tree nodes, schemas, rid ranges) can be
+    reconstructed from the store.  Each PN owns a CPU resource modelling
+    its cores and a record-store client whose lanes batch its requests. *)
+
+type cost_model = {
+  cpu_per_read_ns : int;  (** local processing per record read *)
+  cpu_per_write_ns : int;  (** local processing per buffered update *)
+  cpu_per_commit_ns : int;  (** fixed commit-path processing *)
+  cpu_per_statement_ns : int;  (** parse/plan overhead per SQL statement *)
+}
+
+val default_cost_model : cost_model
+
+type t
+
+val create :
+  Tell_kv.Cluster.t ->
+  id:int ->
+  ?cores:int ->
+  ?cost:cost_model ->
+  ?buffer:Buffer_pool.strategy ->
+  commit_managers:Commit_manager.t list ->
+  unit ->
+  t
+
+val id : t -> int
+val group : t -> Tell_sim.Engine.Group.t
+val kv : t -> Tell_kv.Client.t
+val cluster : t -> Tell_kv.Cluster.t
+val engine : t -> Tell_sim.Engine.t
+val pool : t -> Buffer_pool.pool
+val alive : t -> bool
+
+val crash : t -> unit
+(** Crash-stop (§4.4.1): all fibers of this PN are cancelled; in-flight
+    transactions are left partially applied until recovery rolls them
+    back. *)
+
+val charge : t -> int -> unit
+(** Consume PN CPU time (from a fiber running on this PN). *)
+
+val cost : t -> cost_model
+
+val commit_manager : t -> Commit_manager.t
+(** The manager this PN currently talks to; fails over to the next one
+    when the current manager is dead (§4.4.3). *)
+
+val note_started_snapshot : t -> Version_set.t -> unit
+val vmax : t -> Version_set.t
+(** Snapshot of the most recently started transaction on this PN (§5.5.2). *)
+
+val alloc_rid : t -> table:string -> int
+(** Allocate a fresh record id from the table's shared counter (acquired
+    in ranges, like tids). *)
+
+val max_rid : t -> table:string -> int
+(** Upper bound of allocated rids for a table (for sequential scans). *)
+
+val btree : t -> index:string -> Btree.t
+(** This PN's handle (with inner-node cache) for the named index. *)
+
+val schema : t -> table:string -> Schema.table
+(** Table descriptor, fetched from the store and cached. *)
+
+val forget_schema : t -> table:string -> unit

@@ -1,0 +1,146 @@
+type program = {
+  snapshot : Version_set.t;
+  predicate : Query.expr option;
+  projection : int list;
+}
+
+(* --- expression codec ----------------------------------------------------------- *)
+
+let binop_tag (op : Query.binop) =
+  match op with
+  | Eq -> 'a' | Ne -> 'b' | Lt -> 'c' | Le -> 'd' | Gt -> 'e' | Ge -> 'f'
+  | And -> 'g' | Or -> 'h'
+  | Add -> 'i' | Sub -> 'j' | Mul -> 'k' | Div -> 'l' | Mod -> 'm'
+
+let binop_of_tag = function
+  | 'a' -> Query.Eq | 'b' -> Query.Ne | 'c' -> Query.Lt | 'd' -> Query.Le
+  | 'e' -> Query.Gt | 'f' -> Query.Ge | 'g' -> Query.And | 'h' -> Query.Or
+  | 'i' -> Query.Add | 'j' -> Query.Sub | 'k' -> Query.Mul | 'l' -> Query.Div
+  | 'm' -> Query.Mod
+  | c -> invalid_arg (Printf.sprintf "Pushdown: bad binop tag %C" c)
+
+let rec encode_expr buf (e : Query.expr) =
+  match e with
+  | Col i ->
+      Buffer.add_char buf 'C';
+      Codec.put_int buf i
+  | Lit v ->
+      Buffer.add_char buf 'L';
+      Codec.put_value buf v
+  | Binop (op, a, b) ->
+      Buffer.add_char buf 'B';
+      Buffer.add_char buf (binop_tag op);
+      encode_expr buf a;
+      encode_expr buf b
+  | Not e ->
+      Buffer.add_char buf 'N';
+      encode_expr buf e
+  | Is_null e ->
+      Buffer.add_char buf 'U';
+      encode_expr buf e
+  | Like (e, pattern) ->
+      Buffer.add_char buf 'K';
+      Codec.put_string buf pattern;
+      encode_expr buf e
+
+let rec decode_expr s pos : Query.expr * int =
+  match s.[pos] with
+  | 'C' ->
+      let i, pos = Codec.get_int s (pos + 1) in
+      (Query.Col i, pos)
+  | 'L' ->
+      let v, pos = Codec.get_value s (pos + 1) in
+      (Query.Lit v, pos)
+  | 'B' ->
+      let op = binop_of_tag s.[pos + 1] in
+      let a, pos = decode_expr s (pos + 2) in
+      let b, pos = decode_expr s pos in
+      (Query.Binop (op, a, b), pos)
+  | 'N' ->
+      let e, pos = decode_expr s (pos + 1) in
+      (Query.Not e, pos)
+  | 'U' ->
+      let e, pos = decode_expr s (pos + 1) in
+      (Query.Is_null e, pos)
+  | 'K' ->
+      let pattern, pos = Codec.get_string s (pos + 1) in
+      let e, pos = decode_expr s pos in
+      (Query.Like (e, pattern), pos)
+  | c -> invalid_arg (Printf.sprintf "Pushdown: bad expr tag %C" c)
+
+(* --- program codec ---------------------------------------------------------------- *)
+
+let encode_program p =
+  let buf = Buffer.create 64 in
+  Codec.put_string buf (Version_set.encode p.snapshot);
+  (match p.predicate with
+  | None -> Buffer.add_char buf '\x00'
+  | Some e ->
+      Buffer.add_char buf '\x01';
+      encode_expr buf e);
+  Codec.put_int buf (List.length p.projection);
+  List.iter (Codec.put_int buf) p.projection;
+  Buffer.contents buf
+
+let decode_program s =
+  let vs, pos = Codec.get_string s 0 in
+  let snapshot = Version_set.decode vs in
+  let predicate, pos =
+    match s.[pos] with
+    | '\x00' -> (None, pos + 1)
+    | _ ->
+        let e, pos = decode_expr s (pos + 1) in
+        (Some e, pos)
+  in
+  let n, pos = Codec.get_int s pos in
+  let pos = ref pos in
+  let projection =
+    List.init n (fun _ ->
+        let c, p = Codec.get_int s !pos in
+        pos := p;
+        c)
+  in
+  { snapshot; predicate; projection }
+
+(* --- storage-node side -------------------------------------------------------------- *)
+
+let apply_projection projection tuple =
+  match projection with
+  | [] -> tuple
+  | cols -> Array.of_list (List.map (fun c -> tuple.(c)) cols)
+
+let evaluator ~program ~key:_ ~data =
+  let p = decode_program program in
+  let record = Record.decode data in
+  match Record.latest_visible record ~visible:(Version_set.mem p.snapshot) with
+  | Some { payload = Record.Tuple tuple; _ } ->
+      let keep = match p.predicate with None -> true | Some e -> Query.eval_bool tuple e in
+      if keep then Some (Codec.encode_tuple (apply_projection p.projection tuple)) else None
+  | Some { payload = Record.Tombstone; _ } | None -> None
+
+(* --- processing-node side ------------------------------------------------------------- *)
+
+let scan txn ~table ?predicate ?(projection = []) () =
+  let program =
+    encode_program { snapshot = Txn.snapshot txn; predicate; projection }
+  in
+  let stored =
+    Tell_kv.Client.scan_eval_all
+      (Pn.kv (Txn.pn txn))
+      ~prefix:(Keys.record_prefix ~table) ~program
+  in
+  let remote_rows =
+    List.map (fun (_, data, _) -> fst (Codec.decode_tuple data 0)) stored
+  in
+  (* The transaction's own pending rows never reached the store: apply the
+     same selection/projection locally. *)
+  let own_rows =
+    List.filter_map
+      (fun (_, tuple) ->
+        let keep =
+          match predicate with None -> true | Some e -> Query.eval_bool tuple e
+        in
+        if keep then Some (apply_projection projection tuple) else None)
+      (Txn.pending_rows txn ~table)
+  in
+  Query.of_list (remote_rows @ own_rows)

@@ -1,0 +1,62 @@
+(* Fail-over for processing nodes and commit managers (§4.4).
+
+   Processing nodes are crash-stop: when the management node detects a PN
+   failure it starts a recovery process that discovers the failed node's
+   in-flight transactions from the transaction log and rolls their
+   partially applied updates back.  The lowest active version number acts
+   as a rolling checkpoint: log entries below it cannot belong to an
+   active transaction.
+
+   The management node guarantees at most one recovery process at a time;
+   a single process can handle several failed nodes (§4.4.1). *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+
+type t = {
+  kv : Kv.Client.t;
+  cm : Commit_manager.t;
+  mutable running : bool;
+  mutable recovered_txns : int;
+}
+
+let create cluster ~cm =
+  let group = Kv.Cluster.mgmt_group cluster in
+  { kv = Kv.Client.create cluster ~group; cm; running = false; recovered_txns = 0 }
+
+let recovered_txns t = t.recovered_txns
+
+(* Roll back one logged, uncommitted transaction: remove its version from
+   every record in the write set, then report the abort so snapshots can
+   advance past its tid. *)
+let roll_back t (entry : Txlog.entry) =
+  List.iter (fun key -> Rollback.remove_version t.kv ~key ~version:entry.tid) entry.write_set;
+  Txlog.append t.kv { entry with committed = false };
+  (try Commit_manager.set_aborted t.cm ~tid:entry.tid
+   with Kv.Op.Unavailable _ -> ());
+  t.recovered_txns <- t.recovered_txns + 1
+
+(* Recover every uncommitted transaction of the given failed processing
+   nodes.  Scans the log tail backwards from the highest known tid down to
+   the lav (§4.4.1). *)
+let recover_processing_nodes t ~failed_pn_ids =
+  if t.running then invalid_arg "Recovery: already in progress";
+  t.running <- true;
+  Fun.protect
+    ~finally:(fun () -> t.running <- false)
+    (fun () ->
+      let lav = Commit_manager.current_lav t.cm in
+      let entries = Txlog.scan t.kv ~min_tid:lav in
+      let entries = List.sort (fun (a : Txlog.entry) b -> Int.compare b.tid a.tid) entries in
+      List.iter
+        (fun (entry : Txlog.entry) ->
+          if (not entry.committed) && List.mem entry.pn_id failed_pn_ids then roll_back t entry)
+        entries)
+
+(* Stand up a replacement commit manager (§4.4.3): restore its state from
+   the published peer states and the transaction-log tail. *)
+let replace_commit_manager cluster ~dead ~fresh_id ~peers =
+  ignore dead;
+  let cm = Commit_manager.create cluster ~id:fresh_id ~peers () in
+  Commit_manager.recover cm;
+  cm

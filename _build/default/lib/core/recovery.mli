@@ -1,0 +1,24 @@
+(** Fail-over for processing nodes and commit managers (§4.4).
+
+    Processing nodes are crash-stop: the management node starts a recovery
+    process that discovers the failed node's in-flight transactions from
+    the transaction log (bounded below by the lav, the rolling checkpoint)
+    and rolls their partially applied updates back.  At most one recovery
+    process runs at a time; a single process handles any number of failed
+    nodes. *)
+
+type t
+
+val create : Tell_kv.Cluster.t -> cm:Commit_manager.t -> t
+
+val recover_processing_nodes : t -> failed_pn_ids:int list -> unit
+(** Roll back every logged, uncommitted transaction of the given nodes.
+    Raises [Invalid_argument] if a recovery is already in progress. *)
+
+val recovered_txns : t -> int
+(** Cumulative count of transactions rolled back by this process. *)
+
+val replace_commit_manager :
+  Tell_kv.Cluster.t -> dead:int -> fresh_id:int -> peers:int list -> Commit_manager.t
+(** Stand up a replacement commit manager (§4.4.3), state restored from
+    the published manager states and the transaction-log tail. *)

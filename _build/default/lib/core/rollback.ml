@@ -1,0 +1,33 @@
+(* Removing a transaction's version from a stored record — the shared
+   primitive of commit-time rollback (§4.3, 4b) and fail-over recovery
+   (§4.4.1).  An LL/SC loop, because other transactions may be applying
+   to the same record concurrently. *)
+
+module Kv = Tell_kv
+
+let max_attempts = 64
+
+let rec remove_version kv ~key ~version ~attempts =
+  if attempts <= 0 then invalid_arg "Rollback.remove_version: too many conflicts"
+  else begin
+    match Kv.Client.get kv key with
+    | None -> ()
+    | Some (data, token) -> (
+        let record = Record.decode data in
+        let record' = Record.remove_version record ~version in
+        if Record.version_numbers record' = Record.version_numbers record then ()
+        else begin
+          let outcome =
+            if Record.is_empty record' then Kv.Client.remove_if kv key (Some token)
+            else
+              match Kv.Client.put_if kv key (Some token) (Record.encode record') with
+              | `Ok _ -> `Ok
+              | `Conflict -> `Conflict
+          in
+          match outcome with
+          | `Ok -> ()
+          | `Conflict -> remove_version kv ~key ~version ~attempts:(attempts - 1)
+        end)
+  end
+
+let remove_version kv ~key ~version = remove_version kv ~key ~version ~attempts:max_attempts

@@ -1,0 +1,7 @@
+(** Removing a transaction's version from a stored record — the shared
+    primitive of commit-time rollback (§4.3, 4b) and fail-over recovery
+    (§4.4.1).  An LL/SC retry loop: other transactions may be applying to
+    the same record concurrently.  Deletes the cell outright when the
+    removed version was the last one. *)
+
+val remove_version : Tell_kv.Client.t -> key:string -> version:int -> unit

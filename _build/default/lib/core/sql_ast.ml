@@ -1,0 +1,43 @@
+(* Abstract syntax of the SQL subset Tell's processing nodes accept. *)
+
+type expr =
+  | E_col of string option * string  (* optional qualifier, column name *)
+  | E_lit of Value.t
+  | E_binop of Query.binop * expr * expr
+  | E_not of expr
+  | E_is_null of expr * bool  (* true = IS NULL, false = IS NOT NULL *)
+  | E_func of string * expr list  (* COUNT/SUM/MIN/MAX/AVG or scalar *)
+  | E_in of expr * expr list  (* e IN (v1, v2, ...) *)
+  | E_between of expr * expr * expr  (* e BETWEEN lo AND hi *)
+  | E_like of expr * string  (* e LIKE 'pattern' with % and _ *)
+  | E_star  (* only as the argument of COUNT( * ) *)
+
+type from_item = { fi_table : string; fi_alias : string option }
+
+type order_dir = Asc | Desc
+
+type select = {
+  sel_exprs : (expr * string option) list;  (* ignored when sel_star *)
+  sel_star : bool;
+  sel_distinct : bool;
+  from : from_item list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : (expr * order_dir) list;
+  limit : int option;
+}
+
+type statement =
+  | Select of select
+  | Insert of { table : string; columns : string list option; values : expr list list }
+  | Update of { table : string; sets : (string * expr) list; where : expr option }
+  | Delete of { table : string; where : expr option }
+  | Create_table of {
+      table : string;
+      cols : (string * Value.ty) list;
+      primary_key : string list;
+    }
+  | Create_index of { index : string; table : string; columns : string list; unique : bool }
+
+exception Parse_error of string

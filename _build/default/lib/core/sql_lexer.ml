@@ -1,0 +1,124 @@
+(* Hand-written SQL lexer.  Keywords are case-insensitive; identifiers are
+   lowercased; string literals use single quotes with '' as the escape. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | LPAREN | RPAREN | COMMA | DOT | STAR | SEMI
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | SLASH | PERCENT
+  | KW of string  (* uppercased keyword *)
+  | EOF
+
+let keywords =
+  [
+    "select"; "from"; "where"; "and"; "or"; "not"; "insert"; "into"; "values";
+    "update"; "set"; "delete"; "create"; "table"; "index"; "unique"; "on";
+    "primary"; "key"; "int"; "integer"; "float"; "real"; "text"; "varchar";
+    "char"; "order"; "by"; "asc"; "desc"; "limit"; "group"; "is"; "null";
+    "distinct"; "as"; "in"; "between"; "like"; "having";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit tok = tokens := tok :: !tokens in
+  let rec skip_ws i =
+    if i < n && (input.[i] = ' ' || input.[i] = '\t' || input.[i] = '\n' || input.[i] = '\r') then
+      skip_ws (i + 1)
+    else i
+  in
+  let rec lex i =
+    let i = skip_ws i in
+    if i >= n then emit EOF
+    else begin
+      let c = input.[i] in
+      if is_ident_start c then begin
+        let rec stop j = if j < n && is_ident_char input.[j] then stop (j + 1) else j in
+        let j = stop i in
+        let word = String.lowercase_ascii (String.sub input i (j - i)) in
+        if List.mem word keywords then emit (KW (String.uppercase_ascii word)) else emit (IDENT word);
+        lex j
+      end
+      else if is_digit c then begin
+        let rec stop j = if j < n && (is_digit input.[j] || input.[j] = '.') then stop (j + 1) else j in
+        let j = stop i in
+        let text = String.sub input i (j - i) in
+        (if String.contains text '.' then emit (FLOAT (float_of_string text))
+         else emit (INT (int_of_string text)));
+        lex j
+      end
+      else if c = '\'' then begin
+        let buf = Buffer.create 16 in
+        let rec consume j =
+          if j >= n then raise (Sql_ast.Parse_error "unterminated string literal")
+          else if input.[j] = '\'' then
+            if j + 1 < n && input.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              consume (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf input.[j];
+            consume (j + 1)
+          end
+        in
+        let j = consume (i + 1) in
+        emit (STRING (Buffer.contents buf));
+        lex j
+      end
+      else begin
+        let two = if i + 1 < n then String.sub input i 2 else "" in
+        match two with
+        | "<>" | "!=" ->
+            emit NE;
+            lex (i + 2)
+        | "<=" ->
+            emit LE;
+            lex (i + 2)
+        | ">=" ->
+            emit GE;
+            lex (i + 2)
+        | _ -> (
+            match c with
+            | '(' -> emit LPAREN; lex (i + 1)
+            | ')' -> emit RPAREN; lex (i + 1)
+            | ',' -> emit COMMA; lex (i + 1)
+            | '.' -> emit DOT; lex (i + 1)
+            | '*' -> emit STAR; lex (i + 1)
+            | ';' -> emit SEMI; lex (i + 1)
+            | '=' -> emit EQ; lex (i + 1)
+            | '<' -> emit LT; lex (i + 1)
+            | '>' -> emit GT; lex (i + 1)
+            | '+' -> emit PLUS; lex (i + 1)
+            | '-' -> emit MINUS; lex (i + 1)
+            | '/' -> emit SLASH; lex (i + 1)
+            | '%' -> emit PERCENT; lex (i + 1)
+            | c -> raise (Sql_ast.Parse_error (Printf.sprintf "unexpected character %C" c)))
+      end
+    end
+  in
+  lex 0;
+  List.rev !tokens
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT i -> Fmt.pf ppf "integer %d" i
+  | FLOAT f -> Fmt.pf ppf "float %g" f
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | KW k -> Fmt.string ppf k
+  | LPAREN -> Fmt.string ppf "(" | RPAREN -> Fmt.string ppf ")"
+  | COMMA -> Fmt.string ppf "," | DOT -> Fmt.string ppf "."
+  | STAR -> Fmt.string ppf "*" | SEMI -> Fmt.string ppf ";"
+  | EQ -> Fmt.string ppf "=" | NE -> Fmt.string ppf "<>"
+  | LT -> Fmt.string ppf "<" | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">" | GE -> Fmt.string ppf ">="
+  | PLUS -> Fmt.string ppf "+" | MINUS -> Fmt.string ppf "-"
+  | SLASH -> Fmt.string ppf "/" | PERCENT -> Fmt.string ppf "%"
+  | EOF -> Fmt.string ppf "<eof>"

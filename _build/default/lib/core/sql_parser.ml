@@ -1,0 +1,345 @@
+(* Recursive-descent parser for the SQL subset.  Precedence (low→high):
+   OR < AND < NOT < comparison < additive < multiplicative < unary. *)
+
+open Sql_ast
+
+type state = { mutable tokens : Sql_lexer.token list }
+
+let peek st = match st.tokens with [] -> Sql_lexer.EOF | tok :: _ -> tok
+
+let advance st = match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let fail st what =
+  raise (Parse_error (Fmt.str "expected %s, found %a" what Sql_lexer.pp_token (peek st)))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st what
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let kw st k = accept st (Sql_lexer.KW k)
+
+let expect_kw st k = expect st (Sql_lexer.KW k) k
+
+let ident st =
+  match peek st with
+  | Sql_lexer.IDENT name ->
+      advance st;
+      name
+  | _ -> fail st "identifier"
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  if kw st "OR" then E_binop (Query.Or, lhs, or_expr st) else lhs
+
+and and_expr st =
+  let lhs = not_expr st in
+  if kw st "AND" then E_binop (Query.And, lhs, and_expr st) else lhs
+
+and not_expr st = if kw st "NOT" then E_not (not_expr st) else comparison st
+
+and comparison st =
+  let lhs = additive st in
+  let negated = kw st "NOT" in
+  let wrap e = if negated then E_not e else e in
+  match peek st with
+  | Sql_lexer.EQ when not negated -> advance st; E_binop (Query.Eq, lhs, additive st)
+  | Sql_lexer.NE when not negated -> advance st; E_binop (Query.Ne, lhs, additive st)
+  | Sql_lexer.LT when not negated -> advance st; E_binop (Query.Lt, lhs, additive st)
+  | Sql_lexer.LE when not negated -> advance st; E_binop (Query.Le, lhs, additive st)
+  | Sql_lexer.GT when not negated -> advance st; E_binop (Query.Gt, lhs, additive st)
+  | Sql_lexer.GE when not negated -> advance st; E_binop (Query.Ge, lhs, additive st)
+  | Sql_lexer.KW "IS" when not negated ->
+      advance st;
+      let is_not = kw st "NOT" in
+      expect_kw st "NULL";
+      E_is_null (lhs, not is_not)
+  | Sql_lexer.KW "IN" ->
+      advance st;
+      expect st Sql_lexer.LPAREN "(";
+      let values = comma_list_expr st in
+      expect st Sql_lexer.RPAREN ")";
+      wrap (E_in (lhs, values))
+  | Sql_lexer.KW "BETWEEN" ->
+      advance st;
+      let lo = additive st in
+      expect_kw st "AND";
+      let hi = additive st in
+      wrap (E_between (lhs, lo, hi))
+  | Sql_lexer.KW "LIKE" -> (
+      advance st;
+      match peek st with
+      | Sql_lexer.STRING pattern ->
+          advance st;
+          wrap (E_like (lhs, pattern))
+      | _ -> fail st "string pattern")
+  | _ ->
+      if negated then fail st "IN, BETWEEN or LIKE after NOT" else lhs
+
+and comma_list_expr st =
+  let rec more acc = if accept st Sql_lexer.COMMA then more (expr st :: acc) else List.rev acc in
+  more [ expr st ]
+
+and additive st =
+  let rec loop lhs =
+    match peek st with
+    | Sql_lexer.PLUS -> advance st; loop (E_binop (Query.Add, lhs, multiplicative st))
+    | Sql_lexer.MINUS -> advance st; loop (E_binop (Query.Sub, lhs, multiplicative st))
+    | _ -> lhs
+  in
+  loop (multiplicative st)
+
+and multiplicative st =
+  let rec loop lhs =
+    match peek st with
+    | Sql_lexer.STAR -> advance st; loop (E_binop (Query.Mul, lhs, unary st))
+    | Sql_lexer.SLASH -> advance st; loop (E_binop (Query.Div, lhs, unary st))
+    | Sql_lexer.PERCENT -> advance st; loop (E_binop (Query.Mod, lhs, unary st))
+    | _ -> lhs
+  in
+  loop (unary st)
+
+and unary st =
+  match peek st with
+  | Sql_lexer.MINUS ->
+      advance st;
+      E_binop (Query.Sub, E_lit (Value.Int 0), unary st)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Sql_lexer.INT i -> advance st; E_lit (Value.Int i)
+  | Sql_lexer.FLOAT f -> advance st; E_lit (Value.Float f)
+  | Sql_lexer.STRING s -> advance st; E_lit (Value.Str s)
+  | Sql_lexer.KW "NULL" -> advance st; E_lit Value.Null
+  | Sql_lexer.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Sql_lexer.RPAREN ")";
+      e
+  | Sql_lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Sql_lexer.LPAREN ->
+          advance st;
+          let args =
+            if accept st Sql_lexer.STAR then [ E_star ]
+            else if peek st = Sql_lexer.RPAREN then []
+            else begin
+              let rec more acc =
+                if accept st Sql_lexer.COMMA then more (expr st :: acc) else List.rev acc
+              in
+              more [ expr st ]
+            end
+          in
+          expect st Sql_lexer.RPAREN ")";
+          E_func (String.lowercase_ascii name, args)
+      | Sql_lexer.DOT ->
+          advance st;
+          let column = ident st in
+          E_col (Some name, column)
+      | _ -> E_col (None, name))
+  | _ -> fail st "expression"
+
+(* --- statements --------------------------------------------------------------- *)
+
+let select_item st =
+  let e = expr st in
+  let alias =
+    if kw st "AS" then Some (ident st)
+    else begin
+      match peek st with
+      | Sql_lexer.IDENT name ->
+          advance st;
+          Some name
+      | _ -> None
+    end
+  in
+  (e, alias)
+
+let comma_list st element =
+  let rec more acc = if accept st Sql_lexer.COMMA then more (element st :: acc) else List.rev acc in
+  more [ element st ]
+
+let from_item st =
+  let table = ident st in
+  let alias =
+    if kw st "AS" then Some (ident st)
+    else begin
+      match peek st with
+      | Sql_lexer.IDENT name ->
+          advance st;
+          Some name
+      | _ -> None
+    end
+  in
+  { fi_table = table; fi_alias = alias }
+
+let parse_select st =
+  expect_kw st "SELECT";
+  let distinct = kw st "DISTINCT" in
+  let star, items =
+    if accept st Sql_lexer.STAR then (true, []) else (false, comma_list st select_item)
+  in
+  expect_kw st "FROM";
+  let from = comma_list st from_item in
+  let where = if kw st "WHERE" then Some (expr st) else None in
+  let group_by =
+    if kw st "GROUP" then begin
+      expect_kw st "BY";
+      comma_list st expr
+    end
+    else []
+  in
+  let having = if kw st "HAVING" then Some (expr st) else None in
+  let order_by =
+    if kw st "ORDER" then begin
+      expect_kw st "BY";
+      comma_list st (fun st ->
+          let e = expr st in
+          let dir = if kw st "DESC" then Desc else if kw st "ASC" then Asc else Asc in
+          (e, dir))
+    end
+    else []
+  in
+  let limit =
+    if kw st "LIMIT" then begin
+      match peek st with
+      | Sql_lexer.INT n ->
+          advance st;
+          Some n
+      | _ -> fail st "integer limit"
+    end
+    else None
+  in
+  Select
+    {
+      sel_exprs = items;
+      sel_star = star;
+      sel_distinct = distinct;
+      from;
+      where;
+      group_by;
+      having;
+      order_by;
+      limit;
+    }
+
+let parse_insert st =
+  expect_kw st "INSERT";
+  expect_kw st "INTO";
+  let table = ident st in
+  let columns =
+    if peek st = Sql_lexer.LPAREN then begin
+      advance st;
+      let cols = comma_list st ident in
+      expect st Sql_lexer.RPAREN ")";
+      Some cols
+    end
+    else None
+  in
+  expect_kw st "VALUES";
+  let row st =
+    expect st Sql_lexer.LPAREN "(";
+    let values = comma_list st expr in
+    expect st Sql_lexer.RPAREN ")";
+    values
+  in
+  let values = comma_list st row in
+  Insert { table; columns; values }
+
+let parse_update st =
+  expect_kw st "UPDATE";
+  let table = ident st in
+  expect_kw st "SET";
+  let assignment st =
+    let column = ident st in
+    expect st Sql_lexer.EQ "=";
+    (column, expr st)
+  in
+  let sets = comma_list st assignment in
+  let where = if kw st "WHERE" then Some (expr st) else None in
+  Update { table; sets; where }
+
+let parse_delete st =
+  expect_kw st "DELETE";
+  expect_kw st "FROM";
+  let table = ident st in
+  let where = if kw st "WHERE" then Some (expr st) else None in
+  Delete { table; where }
+
+let column_type st =
+  match peek st with
+  | Sql_lexer.KW ("INT" | "INTEGER") ->
+      advance st;
+      Value.T_int
+  | Sql_lexer.KW ("FLOAT" | "REAL") ->
+      advance st;
+      Value.T_float
+  | Sql_lexer.KW ("TEXT" | "VARCHAR" | "CHAR") ->
+      advance st;
+      (* Optional length, accepted and ignored: VARCHAR(16). *)
+      if accept st Sql_lexer.LPAREN then begin
+        (match peek st with Sql_lexer.INT _ -> advance st | _ -> fail st "length");
+        expect st Sql_lexer.RPAREN ")"
+      end;
+      Value.T_str
+  | _ -> fail st "column type"
+
+let parse_create st =
+  expect_kw st "CREATE";
+  if kw st "TABLE" then begin
+    let table = ident st in
+    expect st Sql_lexer.LPAREN "(";
+    let cols = ref [] in
+    let primary_key = ref [] in
+    let element st =
+      if kw st "PRIMARY" then begin
+        expect_kw st "KEY";
+        expect st Sql_lexer.LPAREN "(";
+        primary_key := comma_list st ident;
+        expect st Sql_lexer.RPAREN ")"
+      end
+      else begin
+        let name = ident st in
+        let ty = column_type st in
+        cols := (name, ty) :: !cols
+      end
+    in
+    let _ = comma_list st (fun st -> element st) in
+    expect st Sql_lexer.RPAREN ")";
+    Create_table { table; cols = List.rev !cols; primary_key = !primary_key }
+  end
+  else begin
+    let unique = kw st "UNIQUE" in
+    expect_kw st "INDEX";
+    let index = ident st in
+    expect_kw st "ON";
+    let table = ident st in
+    expect st Sql_lexer.LPAREN "(";
+    let columns = comma_list st ident in
+    expect st Sql_lexer.RPAREN ")";
+    Create_index { index; table; columns; unique }
+  end
+
+let parse input =
+  let st = { tokens = Sql_lexer.tokenize input } in
+  let statement =
+    match peek st with
+    | Sql_lexer.KW "SELECT" -> parse_select st
+    | Sql_lexer.KW "INSERT" -> parse_insert st
+    | Sql_lexer.KW "UPDATE" -> parse_update st
+    | Sql_lexer.KW "DELETE" -> parse_delete st
+    | Sql_lexer.KW "CREATE" -> parse_create st
+    | _ -> fail st "statement"
+  in
+  let _ = accept st Sql_lexer.SEMI in
+  expect st Sql_lexer.EOF "end of statement";
+  statement

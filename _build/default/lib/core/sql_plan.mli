@@ -1,0 +1,18 @@
+(** Planning and execution of parsed SQL statements against a transaction.
+
+    The planner picks equality-prefix index accesses on base tables,
+    builds left-deep nested-loop joins with per-outer-row index lookups
+    when a join predicate matches an index prefix, and handles
+    aggregation with grouping, ORDER BY, DISTINCT, and LIMIT.  DDL
+    (CREATE TABLE / CREATE INDEX with backfill) executes immediately
+    against the store. *)
+
+exception Plan_error of string
+
+type result =
+  | Rows of { columns : string list; rows : Value.t array list }
+  | Affected of int
+  | Created
+
+val execute : Txn.t -> Sql_ast.statement -> result
+val execute_string : Txn.t -> string -> result

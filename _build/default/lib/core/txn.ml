@@ -1,0 +1,398 @@
+module Kv = Tell_kv
+
+exception Conflict of string
+exception Finished
+
+type status = Running | Committed | Aborted
+
+type isolation = Snapshot_isolation | Serializable
+
+type cached = { record : Record.t; token : int }
+
+type write = {
+  w_table : string;
+  w_rid : int;
+  mutable w_payload : Record.payload;
+  w_base : cached option;  (* None: insert, the key must be absent *)
+  mutable w_index_adds : (string * string) list;  (* (index name, encoded key) *)
+}
+
+type t = {
+  pn : Pn.t;
+  cm : Commit_manager.t;
+  tid : int;
+  isolation : isolation;
+  snapshot : Version_set.t;
+  lav : int;
+  cache : (string, cached option) Hashtbl.t;  (* record key -> store state *)
+  read_tokens : (string, int option) Hashtbl.t;
+      (* Serializable mode: LL/SC token of every record at first read
+         (None = the record was absent), re-validated at commit. *)
+  writes : (string, write) Hashtbl.t;
+  mutable write_order : string list;  (* newest first *)
+  mutable status : status;
+}
+
+let begin_txn ?(isolation = Snapshot_isolation) pn =
+  let cm = Pn.commit_manager pn in
+  let reply = Commit_manager.start cm ~from_group:(Pn.group pn) in
+  Pn.note_started_snapshot pn reply.snapshot;
+  {
+    pn;
+    cm;
+    tid = reply.tid;
+    isolation;
+    snapshot = reply.snapshot;
+    lav = reply.lav;
+    cache = Hashtbl.create 32;
+    read_tokens = Hashtbl.create 32;
+    writes = Hashtbl.create 8;
+    write_order = [];
+    status = Running;
+  }
+
+let tid t = t.tid
+let isolation t = t.isolation
+let snapshot t = t.snapshot
+let lav t = t.lav
+let status t = t.status
+let pn t = t.pn
+let write_set_size t = Hashtbl.length t.writes
+
+let check_running t = match t.status with Running -> () | Committed | Aborted -> raise Finished
+
+let visible t v = Version_set.mem t.snapshot v
+
+(* Fetch a record through the buffering strategy, caching it for the rest
+   of this transaction (the "transaction buffer" of §5.5.1 is always on). *)
+let note_read_token t key state =
+  if t.isolation = Serializable && not (Hashtbl.mem t.read_tokens key) then
+    Hashtbl.replace t.read_tokens key
+      (match state with Some { token; _ } -> Some token | None -> None)
+
+let fetch t ~table ~rid =
+  let key = Keys.record ~table ~rid in
+  match Hashtbl.find_opt t.cache key with
+  | Some state -> state
+  | None ->
+      Pn.charge t.pn (Pn.cost t.pn).cpu_per_read_ns;
+      let state =
+        match Buffer_pool.read (Pn.pool t.pn) ~snapshot:t.snapshot ~table ~rid with
+        | Some (record, token) -> Some { record; token }
+        | None -> None
+      in
+      Hashtbl.replace t.cache key state;
+      note_read_token t key state;
+      state
+
+let payload_to_tuple = function Record.Tuple tuple -> Some tuple | Record.Tombstone -> None
+
+let read t ~table ~rid =
+  check_running t;
+  let key = Keys.record ~table ~rid in
+  match Hashtbl.find_opt t.writes key with
+  | Some w -> payload_to_tuple w.w_payload
+  | None -> (
+      match fetch t ~table ~rid with
+      | None -> None
+      | Some { record; _ } -> (
+          match Record.latest_visible record ~visible:(visible t) with
+          | Some { payload; _ } -> payload_to_tuple payload
+          | None -> None))
+
+let read_record t ~table ~rid =
+  check_running t;
+  Option.map (fun c -> c.record) (fetch t ~table ~rid)
+
+let visible_tuple t record =
+  match Record.latest_visible record ~visible:(visible t) with
+  | Some { payload = Record.Tuple tuple; _ } -> Some tuple
+  | Some { payload = Record.Tombstone; _ } | None -> None
+
+let read_batch t ~table ~rids =
+  check_running t;
+  Pn.charge t.pn (List.length rids * (Pn.cost t.pn).cpu_per_read_ns / 4);
+  let resolve_local rid =
+    let key = Keys.record ~table ~rid in
+    match Hashtbl.find_opt t.writes key with
+    | Some w -> `Known (payload_to_tuple w.w_payload)
+    | None -> (
+        match Hashtbl.find_opt t.cache key with
+        | Some (Some { record; _ }) -> `Known (visible_tuple t record)
+        | Some None -> `Known None
+        | None -> `Fetch key)
+  in
+  let remote =
+    List.filter_map
+      (fun rid -> match resolve_local rid with `Fetch key -> Some (rid, key) | `Known _ -> None)
+      rids
+  in
+  (match remote with
+  | [] -> ()
+  | _ :: _ ->
+      let replies = Kv.Client.multi_get (Pn.kv t.pn) (List.map snd remote) in
+      List.iter2
+        (fun (_, key) reply ->
+          let state =
+            match reply with
+            | Some (data, token) ->
+                Some { record = Buffer_pool.decode_record (Pn.pool t.pn) ~key ~data ~token; token }
+            | None -> None
+          in
+          Hashtbl.replace t.cache key state;
+          note_read_token t key state)
+        remote replies);
+  List.filter_map
+    (fun rid ->
+      match resolve_local rid with
+      | `Known (Some tuple) -> Some (rid, tuple)
+      | `Known None -> None
+      | `Fetch _ -> None)
+    rids
+
+let pending_rows t ~table =
+  Hashtbl.fold
+    (fun _ w acc ->
+      match (w.w_table = table, w.w_payload) with
+      | true, Record.Tuple tuple -> (w.w_rid, tuple) :: acc
+      | true, Record.Tombstone | false, _ -> acc)
+    t.writes []
+
+(* §4.1, first conflict scenario: a version applied by a transaction that
+   is not in our snapshot means a concurrent writer got there first. *)
+let assert_no_invisible_version t record ~table ~rid =
+  if List.exists (fun v -> not (visible t v)) (Record.version_numbers record) then begin
+    t.status <- Aborted;
+    Commit_manager.set_aborted t.cm ~tid:t.tid;
+    raise (Conflict (Printf.sprintf "%s/%d has a newer version" table rid))
+  end
+
+let index_entries_for t ~table tuple =
+  let schema = Pn.schema t.pn ~table in
+  List.map
+    (fun (idx : Schema.index) ->
+      let key = Codec.encode_key (Schema.key_of_tuple ~columns:idx.idx_columns tuple) in
+      (idx.idx_name, key))
+    (Schema.all_indexes schema)
+
+let record_write t ~table ~rid ~payload ~base ~index_adds =
+  let key = Keys.record ~table ~rid in
+  match Hashtbl.find_opt t.writes key with
+  | Some w ->
+      w.w_payload <- payload;
+      w.w_index_adds <-
+        List.filter (fun e -> not (List.mem e w.w_index_adds)) index_adds @ w.w_index_adds
+  | None ->
+      Hashtbl.replace t.writes key
+        { w_table = table; w_rid = rid; w_payload = payload; w_base = base; w_index_adds = index_adds };
+      t.write_order <- key :: t.write_order
+
+let update t ~table ~rid tuple =
+  check_running t;
+  Pn.charge t.pn (Pn.cost t.pn).cpu_per_write_ns;
+  let schema = Pn.schema t.pn ~table in
+  Schema.validate_tuple schema tuple;
+  let key = Keys.record ~table ~rid in
+  match Hashtbl.find_opt t.writes key with
+  | Some w ->
+      (* Second update of the same record: modify the buffered version. *)
+      let index_adds =
+        List.filter
+          (fun e -> not (List.mem e w.w_index_adds))
+          (index_entries_for t ~table tuple)
+      in
+      w.w_payload <- Record.Tuple tuple;
+      w.w_index_adds <- index_adds @ w.w_index_adds
+  | None -> (
+      match fetch t ~table ~rid with
+      | None -> raise (Schema.Schema_error (Printf.sprintf "update of absent record %s/%d" table rid))
+      | Some ({ record; _ } as base) ->
+          assert_no_invisible_version t record ~table ~rid;
+          let old_tuple =
+            match Record.latest_visible record ~visible:(visible t) with
+            | Some { payload = Record.Tuple old; _ } -> Some old
+            | Some { payload = Record.Tombstone; _ } | None -> None
+          in
+          let new_entries = index_entries_for t ~table tuple in
+          let index_adds =
+            match old_tuple with
+            | None -> new_entries
+            | Some old ->
+                let old_entries = index_entries_for t ~table old in
+                List.filter (fun e -> not (List.mem e old_entries)) new_entries
+          in
+          record_write t ~table ~rid ~payload:(Record.Tuple tuple) ~base:(Some base) ~index_adds)
+
+let insert t ~table tuple =
+  check_running t;
+  Pn.charge t.pn (Pn.cost t.pn).cpu_per_write_ns;
+  let schema = Pn.schema t.pn ~table in
+  Schema.validate_tuple schema tuple;
+  let rid = Pn.alloc_rid t.pn ~table in
+  record_write t ~table ~rid ~payload:(Record.Tuple tuple) ~base:None
+    ~index_adds:(index_entries_for t ~table tuple);
+  rid
+
+let delete t ~table ~rid =
+  check_running t;
+  Pn.charge t.pn (Pn.cost t.pn).cpu_per_write_ns;
+  let key = Keys.record ~table ~rid in
+  match Hashtbl.find_opt t.writes key with
+  | Some w -> w.w_payload <- Record.Tombstone
+  | None -> (
+      match fetch t ~table ~rid with
+      | None -> ()
+      | Some ({ record; _ } as base) ->
+          assert_no_invisible_version t record ~table ~rid;
+          record_write t ~table ~rid ~payload:Record.Tombstone ~base:(Some base) ~index_adds:[])
+
+(* --- index access ------------------------------------------------------------- *)
+
+let own_index_entries t ~index ~lo ~hi =
+  Hashtbl.fold
+    (fun _ w acc ->
+      List.fold_left
+        (fun acc (idx, key) ->
+          if idx = index && lo <= key && key < hi then (key, w.w_rid) :: acc else acc)
+        acc w.w_index_adds)
+    t.writes []
+
+let index_range t ~index ~lo ~hi =
+  check_running t;
+  let shared = Btree.range (Pn.btree t.pn ~index) ~lo ~hi in
+  let own = own_index_entries t ~index ~lo ~hi in
+  let cmp (k1, r1) (k2, r2) =
+    match String.compare k1 k2 with 0 -> Int.compare r1 r2 | c -> c
+  in
+  List.sort_uniq cmp (own @ shared)
+
+let index_lookup t ~index ~key =
+  List.map snd (index_range t ~index ~lo:key ~hi:(key ^ "\x00"))
+
+let gc_index_entry t ~index ~key ~rid =
+  Btree.remove (Pn.btree t.pn ~index) ~key ~rid
+
+(* --- commit / abort ------------------------------------------------------------- *)
+
+let finish_abort t reason =
+  t.status <- Aborted;
+  Commit_manager.set_aborted t.cm ~tid:t.tid;
+  raise (Conflict reason)
+
+let apply_writes t writes =
+  (* One conditional write per record, batched per storage node. *)
+  let ops =
+    List.map
+      (fun (key, w) ->
+        let base_record, base_token =
+          match w.w_base with
+          | Some { record; token } -> (record, Some token)
+          | None -> (Record.empty, None)
+        in
+        (* Eager record GC (§5.4) piggy-backs on the write-back. *)
+        let compacted, _removed = Record.gc base_record ~lav:t.lav in
+        let new_record = Record.add_version compacted ~version:t.tid w.w_payload in
+        (key, w, Kv.Op.Put_if (key, base_token, Record.encode new_record), new_record))
+      writes
+  in
+  let results = Kv.Client.multi_write (Pn.kv t.pn) (List.map (fun (_, _, op, _) -> op) ops) in
+  let outcomes = List.map2 (fun (key, w, _, record) result -> (key, w, record, result)) ops results in
+  let conflicted =
+    List.filter_map
+      (fun (key, _, _, result) -> match result with Kv.Op.Conflict -> Some key | _ -> None)
+      outcomes
+  in
+  match conflicted with
+  | [] ->
+      List.iter
+        (fun (_, w, record, result) ->
+          match result with
+          | Kv.Op.Token token ->
+              Buffer_pool.note_applied (Pn.pool t.pn) ~table:w.w_table ~rid:w.w_rid ~record
+                ~token ~tid:t.tid
+          | _ -> ())
+        outcomes;
+      `Applied
+  | _ :: _ ->
+      (* Roll back the updates that did land (§4.3, 4b). *)
+      List.iter
+        (fun (key, _, _, result) ->
+          match result with
+          | Kv.Op.Token _ -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid
+          | _ -> ())
+        outcomes;
+      `Conflict
+
+(* Serializable mode (OCC): every record read but not written must be
+   unchanged at commit time.  Validation happens after our own writes are
+   applied; of two racing transactions with overlapping read/write sets at
+   least one observes the other's applied write and aborts. *)
+let validate_read_set t =
+  let keys =
+    Hashtbl.fold
+      (fun key token acc -> if Hashtbl.mem t.writes key then acc else (key, token) :: acc)
+      t.read_tokens []
+  in
+  match keys with
+  | [] -> true
+  | _ :: _ ->
+      let current = Kv.Client.multi_get (Pn.kv t.pn) (List.map fst keys) in
+      List.for_all2
+        (fun (_, seen) now ->
+          match (seen, now) with
+          | None, None -> true
+          | Some token, Some (_, token') -> token = token'
+          | None, Some _ | Some _, None -> false)
+        keys current
+
+let maintain_indexes t writes =
+  List.iter
+    (fun (_, w) ->
+      List.iter
+        (fun (index, key) -> Btree.insert (Pn.btree t.pn ~index) ~key ~rid:w.w_rid)
+        w.w_index_adds)
+    writes
+
+let commit t =
+  check_running t;
+  Pn.charge t.pn (Pn.cost t.pn).cpu_per_commit_ns;
+  let writes =
+    List.rev_map (fun key -> (key, Hashtbl.find t.writes key)) t.write_order
+  in
+  match writes with
+  | [] ->
+      t.status <- Committed;
+      Commit_manager.set_committed t.cm ~tid:t.tid
+  | _ :: _ -> (
+      (* Try-commit (§4.3, step 3): log first, then apply. *)
+      let entry =
+        {
+          Txlog.tid = t.tid;
+          pn_id = Pn.id t.pn;
+          timestamp = Tell_sim.Engine.now (Pn.engine t.pn);
+          write_set = List.map fst writes;
+          committed = false;
+        }
+      in
+      Txlog.append (Pn.kv t.pn) entry;
+      match apply_writes t writes with
+      | `Conflict -> finish_abort t "store-conditional failed"
+      | `Applied ->
+          if t.isolation = Serializable && not (validate_read_set t) then begin
+            (* A record we depended on changed: undo our applied writes. *)
+            List.iter
+              (fun (key, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
+              writes;
+            finish_abort t "serializable read validation failed"
+          end
+          else begin
+            maintain_indexes t writes;
+            Txlog.mark_committed (Pn.kv t.pn) entry;
+            t.status <- Committed;
+            Commit_manager.set_committed t.cm ~tid:t.tid
+          end)
+
+let abort t =
+  check_running t;
+  t.status <- Aborted;
+  Commit_manager.set_aborted t.cm ~tid:t.tid

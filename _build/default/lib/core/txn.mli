@@ -1,0 +1,96 @@
+(** Transactions: distributed snapshot isolation with LL/SC conflict
+    detection (§4.1, §4.3).
+
+    Life-cycle: {!begin_txn} fetches (tid, snapshot, lav) from a commit
+    manager; reads see exactly the versions the snapshot admits; updates
+    are buffered on the processing node; {!commit} writes a transaction-log
+    entry, applies every buffered update with one store-conditional per
+    record (batched per storage node), rolls everything back and aborts on
+    the first failed conditional, and otherwise maintains the indexes,
+    flags the log entry, and reports to the commit manager.
+
+    Write-write conflicts are detected in two ways, mirroring §4.1: a
+    version that is invisible to the snapshot observed at {!update} time
+    raises {!Conflict} immediately (the other writer applied first), and
+    anything applied after our read fails the LL/SC at commit. *)
+
+type t
+
+exception Conflict of string
+(** The transaction lost a write-write race and has been aborted (all its
+    applied updates were rolled back, the commit manager was notified). *)
+
+exception Finished
+(** Raised when operating on a committed or aborted transaction. *)
+
+type status = Running | Committed | Aborted
+
+type isolation =
+  | Snapshot_isolation  (** the paper's protocol (§4.1) *)
+  | Serializable
+      (** §4.1 lists serializable SI as future work; this mode provides it
+          by re-validating the read set at commit (OCC style): the commit
+          aborts if any record read (and not written) changed since it was
+          read.  Two transactions racing on overlapping read/write sets
+          cannot both pass — each validates after its own writes applied —
+          so SI's write-skew anomaly cannot commit. *)
+
+val begin_txn : ?isolation:isolation -> Pn.t -> t
+val tid : t -> int
+val isolation : t -> isolation
+val snapshot : t -> Version_set.t
+val lav : t -> int
+val status : t -> status
+val pn : t -> Pn.t
+
+(** {1 Data operations} *)
+
+val read : t -> table:string -> rid:int -> Value.t array option
+(** The tuple visible under this snapshot; [None] if absent or deleted.
+    Sees the transaction's own buffered writes. *)
+
+val read_record : t -> table:string -> rid:int -> Record.t option
+(** All stored versions (no visibility filter) — used by index garbage
+    collection; does not include buffered writes. *)
+
+val read_batch : t -> table:string -> rids:int list -> (int * Value.t array) list
+(** Visible tuples for many rids with one (per storage node) round trip —
+    the scan path.  Bypasses the shared buffer but honours the
+    transaction's own cache and buffered writes.  Missing/invisible rids
+    are omitted. *)
+
+val pending_rows : t -> table:string -> (int * Value.t array) list
+(** This transaction's own buffered inserts/updates for [table] (deletes
+    excluded) — merged into sequential scans. *)
+
+val insert : t -> table:string -> Value.t array -> int
+(** Allocates a rid, buffers the insert, returns the rid. *)
+
+val update : t -> table:string -> rid:int -> Value.t array -> unit
+(** Buffers a full-tuple replacement.  Raises {!Conflict} if a version
+    invisible to the snapshot already exists. *)
+
+val delete : t -> table:string -> rid:int -> unit
+
+(** {1 Index access} *)
+
+val index_range : t -> index:string -> lo:string -> hi:string -> (string * int) list
+(** Entries with [lo <= key < hi] from the shared B+tree, merged with this
+    transaction's own pending index insertions. *)
+
+val index_lookup : t -> index:string -> key:string -> int list
+
+val gc_index_entry : t -> index:string -> key:string -> rid:int -> unit
+(** Lazy index GC during reads (§5.4): drop the entry if no stored version
+    of the record carries [key] anymore. *)
+
+(** {1 Termination} *)
+
+val commit : t -> unit
+(** Raises {!Conflict} on write-write conflict (the transaction is then
+    aborted); idempotent-safe against double calls via {!Finished}. *)
+
+val abort : t -> unit
+(** Manual abort: nothing was applied, only the commit manager is told. *)
+
+val write_set_size : t -> int

@@ -1,0 +1,69 @@
+(* Field values of relational tuples. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = T_int | T_float | T_str
+
+let type_name = function T_int -> "INT" | T_float -> "FLOAT" | T_str -> "TEXT"
+
+let matches_type v ty =
+  match (v, ty) with
+  | Null, _ -> true
+  | Int _, T_int -> true
+  | Float _, T_float -> true
+  | Str _, T_str -> true
+  | (Int _ | Float _ | Str _), _ -> false
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Str s -> s
+
+let pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "NULL"
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.float ppf f
+  | Str s -> Fmt.pf ppf "%S" s
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | (Null | Int _ | Float _ | Str _), _ -> false
+
+(* SQL-style ordering used by ORDER BY and index keys: NULL sorts first,
+   numeric types compare numerically with each other. *)
+let compare a b =
+  let rank = function Null -> 0 | Int _ | Float _ -> 1 | Str _ -> 2 in
+  match (a, b) with
+  | Null, Null -> 0
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | a, b -> Int.compare (rank a) (rank b)
+
+let as_int = function
+  | Int i -> i
+  | Float f -> int_of_float f
+  | v -> invalid_arg ("Value.as_int: " ^ to_string v)
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> invalid_arg ("Value.as_float: " ^ to_string v)
+
+let as_string = function
+  | Str s -> s
+  | v -> invalid_arg ("Value.as_string: " ^ to_string v)
+
+let is_null = function Null -> true | Int _ | Float _ | Str _ -> false

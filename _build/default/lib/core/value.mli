@@ -1,0 +1,29 @@
+(** Field values of relational tuples. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+
+type ty = T_int | T_float | T_str
+
+val type_name : ty -> string
+val matches_type : t -> ty -> bool
+(** NULL matches every type. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** SQL-style ordering used by ORDER BY and index keys: NULL first, then
+    numbers (Int and Float compare numerically), then strings. *)
+
+val as_int : t -> int
+val as_float : t -> float
+val as_string : t -> string
+(** The [as_*] accessors raise [Invalid_argument] on a type mismatch
+    (numeric coercions Int↔Float are permitted). *)
+
+val is_null : t -> bool

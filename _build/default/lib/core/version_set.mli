@@ -1,0 +1,35 @@
+(** Version-number sets (§4.2, §5.5).
+
+    The set [{x | x <= base} ∪ above] with [above ⊆ (base, ∞)].  This is
+    both the {e snapshot descriptor} — base version [b] plus the bitset
+    [N] of newly committed transaction ids — and the validity set [B]
+    attached to buffered records by the shared-buffer strategies.
+
+    The structure is immutable and persistent: handing a snapshot to a
+    transaction is O(1), and the sparse part stays small (it only contains
+    transactions that committed out of order). *)
+
+type t
+
+val empty : t
+val of_base : int -> t
+(** All versions [<= base]. *)
+
+val base : t -> int
+val above : t -> int list
+(** Sorted members above the base. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> t
+(** Adding [base + 1] compacts the representation by advancing the base. *)
+
+val union : t -> t -> t
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val max_elt : t -> int
+(** Highest member; 0 for {!empty}. *)
+
+val cardinal_above : t -> int
+val encode : t -> string
+val decode : string -> t
+val pp : Format.formatter -> t -> unit

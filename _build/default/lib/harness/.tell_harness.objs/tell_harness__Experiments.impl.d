@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Buffer_pool Database Float Hashtbl List Option Pn Printf Pushdown Query Scenarios String Tell_core Tell_kv Tell_sim Tell_tpcc Value

@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: Buffer_pool Database List Tell_baselines Tell_core Tell_kv Tell_sim Tell_tpcc

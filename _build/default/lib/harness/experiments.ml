@@ -1,0 +1,599 @@
+(* One function per table/figure of the paper's evaluation (§6), each
+   printing the same rows/series the paper reports.  [Quick] shrinks the
+   sweep (fewer points, shorter windows) for CI; [Full] runs the complete
+   grids. *)
+
+module Sim = Tell_sim
+module Tpcc = Tell_tpcc
+open Tell_core
+
+type intensity = Quick | Full
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+let row fmt = Printf.printf (fmt ^^ "\n%!")
+
+let tpmc_of = Scenarios.committed_tpmc
+
+let report_of = function Scenarios.Report r -> Some r | Scenarios.Out_of_memory -> None
+
+(* --- Table 1: design-principle matrix (static, from §3) ---------------------------- *)
+
+let table1 _intensity =
+  section "Table 1: Comparison of selected databases and storage systems";
+  let line (system, shared, decoupled, in_memory, acid, sql) =
+    row "%-28s %-12s %-11s %-10s %-6s %-8s" system shared decoupled in_memory acid sql
+  in
+  row "%-28s %-12s %-11s %-10s %-6s %-8s" "System" "Shared-data" "Decoupling" "In-memory"
+    "ACID" "Complex-queries";
+  List.iter line
+    [
+      ("Tell (this repo)", "yes", "yes", "yes", "yes", "yes");
+      ("Oracle RAC", "yes", "no", "no", "yes", "yes");
+      ("FoundationDB", "yes", "yes", "yes", "yes", "yes");
+      ("Google F1", "yes", "yes", "no", "yes", "yes");
+      ("OMID", "yes", "yes", "no", "yes", "no");
+      ("Hyder", "yes", "yes", "no", "yes", "(yes)");
+      ("VoltDB", "no", "no", "yes", "yes", "yes");
+      ("Azure SQL Database", "no", "no", "no", "yes", "yes");
+      ("Google BigTable", "no", "yes", "no", "no", "no");
+    ]
+
+(* --- Table 2: workload mixes, verified empirically against the generator ----------- *)
+
+let table2 _intensity =
+  section "Table 2: TPC-C transaction mixes (specified vs generated)";
+  let sample mix =
+    let rng = Sim.Rng.make 17 in
+    let scale = Tpcc.Spec.sim_scale ~warehouses:8 in
+    let counts = Hashtbl.create 8 in
+    let writes = ref 0 in
+    let n = 200_000 in
+    for _ = 1 to n do
+      let txn = Tpcc.Spec.gen_txn rng ~scale ~mix ~home_w:1 in
+      let name = Tpcc.Spec.txn_name txn in
+      Hashtbl.replace counts name (1 + Option.value ~default:0 (Hashtbl.find_opt counts name));
+      match txn with
+      | Tpcc.Spec.New_order _ | Tpcc.Spec.Payment _ | Tpcc.Spec.Delivery _ -> incr writes
+      | Tpcc.Spec.Order_status _ | Tpcc.Spec.Stock_level _ -> ()
+    done;
+    let pct name = 100.0 *. float_of_int (Option.value ~default:0 (Hashtbl.find_opt counts name)) /. float_of_int n in
+    (pct "new-order", pct "payment", pct "delivery", pct "order-status", pct "stock-level")
+  in
+  row "%-28s %-10s %-9s %-9s %-9s %-13s %-12s" "Mix" "new-order" "payment" "delivery"
+    "ord-stat" "stock-level" "(spec NO/P/D/OS/SL)";
+  List.iter
+    (fun (mix : Tpcc.Spec.mix) ->
+      let no, p, d, os, sl = sample mix in
+      row "%-28s %9.2f%% %8.2f%% %8.2f%% %8.2f%% %11.2f%%  (%d/%d/%d/%d/%d)" mix.mix_name no p
+        d os sl mix.pct_new_order mix.pct_payment mix.pct_delivery mix.pct_order_status
+        mix.pct_stock_level)
+    [ Tpcc.Spec.standard_mix; Tpcc.Spec.read_intensive_mix; Tpcc.Spec.shardable_mix ]
+
+(* --- Figure 5 / Figure 6: processing scale-out ------------------------------------- *)
+
+let pn_points = function Quick -> [ 1; 4; 8 ] | Full -> [ 1; 2; 4; 6; 8 ]
+let rf_points = function Quick -> [ 1; 3 ] | Full -> [ 1; 2; 3 ]
+
+let windows = function
+  | Quick -> (50_000_000, 150_000_000)
+  | Full -> (60_000_000, 250_000_000)
+
+let scale_out ~intensity ~mix ~label ~metric_name ~metric =
+  section label;
+  let warmup_ns, measure_ns = windows intensity in
+  row "%-6s %s" "PNs" (String.concat "" (List.map (fun rf -> Printf.sprintf "%14s" (Printf.sprintf "RF%d %s" rf metric_name)) (rf_points intensity)));
+  List.iter
+    (fun n_pns ->
+      let cells =
+        List.map
+          (fun rf ->
+            let outcome =
+              Scenarios.run_tell
+                { Scenarios.default_tell with n_pns; rf; mix; warmup_ns; measure_ns }
+            in
+            match report_of outcome with
+            | Some r -> Printf.sprintf "%14.0f" (metric r)
+            | None -> Printf.sprintf "%14s" "OOM")
+          (rf_points intensity)
+      in
+      row "%-6d %s" n_pns (String.concat "" cells))
+    (pn_points intensity)
+
+let fig5 intensity =
+  scale_out ~intensity ~mix:Tpcc.Spec.standard_mix
+    ~label:"Figure 5: Scale-out processing (write-intensive), TpmC by RF" ~metric_name:"TpmC"
+    ~metric:Tpcc.Driver.tpmc;
+  (* The paper also reports the abort-rate growth with PNs (2.91 % at 1 PN
+     to 14.72 % at 8 PNs, RF1). *)
+  section "Figure 5 (companion): abort rate vs PNs (RF1)";
+  let warmup_ns, measure_ns = windows intensity in
+  List.iter
+    (fun n_pns ->
+      match
+        report_of
+          (Scenarios.run_tell { Scenarios.default_tell with n_pns; warmup_ns; measure_ns })
+      with
+      | Some r -> row "%-6d %6.2f%%" n_pns (Tpcc.Driver.abort_rate r)
+      | None -> row "%-6d OOM" n_pns)
+    (pn_points intensity)
+
+let fig6 intensity =
+  scale_out ~intensity ~mix:Tpcc.Spec.read_intensive_mix
+    ~label:"Figure 6: Scale-out processing (read-intensive), Tps by RF" ~metric_name:"Tps"
+    ~metric:Tpcc.Driver.tps
+
+(* --- Table 3: commit managers ------------------------------------------------------- *)
+
+let table3 intensity =
+  section "Table 3: Commit managers (write-intensive, 8 PNs, 7 SNs, RF1)";
+  let warmup_ns, measure_ns = windows intensity in
+  row "%-18s %-12s %-12s" "Commit managers" "TpmC" "Tx abort rate";
+  List.iter
+    (fun n_cms ->
+      match
+        report_of
+          (Scenarios.run_tell
+             { Scenarios.default_tell with n_pns = 8; n_cms; warmup_ns; measure_ns })
+      with
+      | Some r -> row "%-18d %-12.0f %9.2f%%" n_cms (Tpcc.Driver.tpmc r) (Tpcc.Driver.abort_rate r)
+      | None -> row "%-18d OOM" n_cms)
+    [ 1; 2; 4 ]
+
+(* --- Figure 7: storage scale-out ----------------------------------------------------- *)
+
+let fig7 intensity =
+  section "Figure 7: Scale-out storage (write-intensive, RF3): TpmC";
+  let warmup_ns, measure_ns = windows intensity in
+  let warehouses = Scenarios.default_tell.warehouses in
+  (* Per-SN memory capacity sized so that the 3-SN configuration has thin
+     headroom: the benchmark's inserts then exhaust it under high load —
+     the paper's "too much data for 3 SNs beyond 5 PNs" wall. *)
+  let loaded_bytes =
+    let engine = Sim.Engine.create () in
+    let kv = Tell_kv.Cluster.create engine { Tell_kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 3 } in
+    let _ = Tpcc.Loader.load kv ~scale:(Tpcc.Spec.sim_scale ~warehouses) ~seed:5 in
+    Tell_kv.Cluster.total_bytes_stored kv
+  in
+  let capacity = (loaded_bytes / 3) + (loaded_bytes / 320) in
+  row "(per-SN capacity: %d MB)" (capacity / 1024 / 1024);
+  let sn_points = [ 3; 5; 7 ] in
+  let pn_range = pn_points intensity in
+  row "%-6s %s" "PNs"
+    (String.concat "" (List.map (fun sn -> Printf.sprintf "%14s" (Printf.sprintf "SN%d TpmC" sn)) sn_points));
+  List.iter
+    (fun n_pns ->
+      let cells =
+        List.map
+          (fun n_sns ->
+            let outcome =
+              Scenarios.run_tell
+                {
+                  Scenarios.default_tell with
+                  n_pns;
+                  n_sns;
+                  rf = 3;
+                  sn_capacity_bytes = capacity;
+                  warmup_ns;
+                  measure_ns;
+                }
+            in
+            match report_of outcome with
+            | Some r -> Printf.sprintf "%14.0f" (Tpcc.Driver.tpmc r)
+            | None -> Printf.sprintf "%14s" "OOM")
+          sn_points
+      in
+      row "%-6d %s" n_pns (String.concat "" cells))
+    pn_range
+
+(* --- Figures 8/9 + Table 4: engine comparison ---------------------------------------- *)
+
+let tell_ladder = function
+  | Quick -> [ (1, 3); (8, 7) ]
+  | Full -> [ (1, 3); (4, 5); (8, 7) ]
+
+let voltdb_ladder = function Quick -> [ 3; 11 ] | Full -> [ 3; 7; 11 ]
+let ndb_ladder = function Quick -> [ (3, 2); (9, 4) ] | Full -> [ (3, 2); (6, 3); (9, 4) ]
+let fdb_ladder = function Quick -> [ 3; 9 ] | Full -> [ 3; 6; 9 ]
+
+type comparison_point = { system : string; cores : int; tpmc : float; report : Tpcc.Driver.report option }
+
+(* The engine comparison runs at 128 warehouses: VoltDB's 66 partitions
+   (11 nodes x 6) must own warehouses, approximating the paper's 200-WH
+   setup. *)
+let comparison_warehouses = 64
+
+let comparison ~intensity ~mix ~tell_rf ~voltdb_k ~ndb_replicas =
+  let warmup_ns, measure_ns = windows intensity in
+  let tell_points =
+    List.map
+      (fun (n_pns, n_sns) ->
+        let c =
+          {
+            Scenarios.default_tell with
+            n_pns;
+            n_sns;
+            n_cms = 2;
+            rf = tell_rf;
+            mix;
+            warehouses = comparison_warehouses;
+            warmup_ns;
+            measure_ns;
+          }
+        in
+        let o = Scenarios.run_tell c in
+        { system = "tell"; cores = Scenarios.tell_cores c; tpmc = tpmc_of o; report = report_of o })
+      (tell_ladder intensity)
+  in
+  let voltdb_points =
+    List.map
+      (fun v_nodes ->
+        let c =
+          {
+            Scenarios.default_voltdb with
+            v_nodes;
+            v_k_factor = voltdb_k;
+            v_mix = mix;
+            v_warehouses = comparison_warehouses;
+            (* VoltDB needs a long window to reach steady state: terminals
+               progressively pile up behind the serialized multi-partition
+               initiator. *)
+            v_warmup_ns = 3 * warmup_ns;
+            v_measure_ns = 3 * measure_ns;
+          }
+        in
+        let o = Scenarios.run_voltdb c in
+        { system = "voltdb"; cores = Scenarios.voltdb_cores c; tpmc = tpmc_of o; report = report_of o })
+      (voltdb_ladder intensity)
+  in
+  let ndb_points =
+    List.map
+      (fun (m_data_nodes, m_sql_nodes) ->
+        let c =
+          {
+            Scenarios.default_ndb with
+            m_data_nodes;
+            m_sql_nodes;
+            m_replicas = ndb_replicas;
+            m_mix = mix;
+            m_warehouses = comparison_warehouses;
+            m_warmup_ns = warmup_ns;
+            m_measure_ns = measure_ns;
+          }
+        in
+        let o = Scenarios.run_ndb c in
+        { system = "mysql-cluster"; cores = Scenarios.ndb_cores c; tpmc = tpmc_of o; report = report_of o })
+      (ndb_ladder intensity)
+  in
+  (tell_points, voltdb_points, ndb_points)
+
+let print_points points =
+  List.iter (fun p -> row "  %-16s cores=%-4d TpmC=%10.0f" p.system p.cores p.tpmc) points
+
+let fig8 intensity =
+  section "Figure 8: Throughput (TPC-C standard, RF3) vs total cores";
+  let tell_points, voltdb_points, ndb_points =
+    comparison ~intensity ~mix:Tpcc.Spec.standard_mix ~tell_rf:3 ~voltdb_k:2 ~ndb_replicas:2
+  in
+  let warmup_ns, measure_ns = windows intensity in
+  let fdb_points =
+    List.map
+      (fun f_nodes ->
+        let c =
+          {
+            Scenarios.default_fdb with
+            f_nodes;
+            f_warehouses = comparison_warehouses;
+            f_warmup_ns = warmup_ns;
+            f_measure_ns = measure_ns;
+          }
+        in
+        let o = Scenarios.run_fdb c in
+        { system = "foundationdb"; cores = Scenarios.fdb_cores c; tpmc = tpmc_of o; report = report_of o })
+      (fdb_ladder intensity)
+  in
+  print_points tell_points;
+  print_points voltdb_points;
+  print_points ndb_points;
+  print_points fdb_points;
+  (tell_points, voltdb_points, ndb_points, fdb_points)
+
+let fig9 intensity =
+  section "Figure 9: Throughput (TPC-C shardable) vs total cores, RF1 and RF3";
+  let by_rf rf_label ~tell_rf ~voltdb_k ~ndb_replicas =
+    row " -- %s --" rf_label;
+    let tell_points, voltdb_points, ndb_points =
+      comparison ~intensity ~mix:Tpcc.Spec.shardable_mix ~tell_rf ~voltdb_k ~ndb_replicas
+    in
+    print_points tell_points;
+    print_points voltdb_points;
+    print_points ndb_points;
+    (tell_points, voltdb_points, ndb_points)
+  in
+  let rf1 = by_rf "RF1" ~tell_rf:1 ~voltdb_k:0 ~ndb_replicas:1 in
+  let rf3 = by_rf "RF3" ~tell_rf:3 ~voltdb_k:2 ~ndb_replicas:2 in
+  (rf1, rf3)
+
+let latency_row label = function
+  | Some (r : Tpcc.Driver.report) ->
+      row "  %-22s %8.2f ± %-8.2f ms" label (Tpcc.Driver.mean_latency_ms r)
+        (Tpcc.Driver.stddev_latency_ms r)
+  | None -> row "  %-22s (no data)" label
+
+let table4 intensity =
+  section "Table 4: TPC-C transaction response time (mean ± stddev)";
+  let warmup_ns, measure_ns = windows intensity in
+  let tell ~mix ~pn_sn:(n_pns, n_sns) ~rf =
+    report_of
+      (Scenarios.run_tell
+         {
+           Scenarios.default_tell with
+           n_pns;
+           n_sns;
+           rf;
+           mix;
+           warehouses = comparison_warehouses;
+           warmup_ns;
+           measure_ns;
+         })
+  in
+  let volt ~mix ~nodes ~k =
+    report_of
+      (Scenarios.run_voltdb
+         {
+           Scenarios.default_voltdb with
+           v_nodes = nodes;
+           v_k_factor = k;
+           v_mix = mix;
+           v_warehouses = comparison_warehouses;
+           v_warmup_ns = 3 * warmup_ns;
+           v_measure_ns = 3 * measure_ns;
+         })
+  in
+  let ndb ~mix ~dn_sql:(m_data_nodes, m_sql_nodes) =
+    report_of
+      (Scenarios.run_ndb
+         {
+           Scenarios.default_ndb with
+           m_data_nodes;
+           m_sql_nodes;
+           m_replicas = 2;
+           m_mix = mix;
+           m_warehouses = comparison_warehouses;
+           m_warmup_ns = warmup_ns;
+           m_measure_ns = measure_ns;
+         })
+  in
+  let fdb ~nodes =
+    report_of
+      (Scenarios.run_fdb
+         {
+           Scenarios.default_fdb with
+           f_nodes = nodes;
+           f_warehouses = comparison_warehouses;
+           f_warmup_ns = warmup_ns;
+           f_measure_ns = measure_ns;
+         })
+  in
+  let std = Tpcc.Spec.standard_mix and shard = Tpcc.Spec.shardable_mix in
+  row "Standard mix, small (22-24 cores):";
+  latency_row "Tell" (tell ~mix:std ~pn_sn:(1, 3) ~rf:3);
+  latency_row "MySQL Cluster" (ndb ~mix:std ~dn_sql:(3, 2));
+  latency_row "VoltDB" (volt ~mix:std ~nodes:3 ~k:2);
+  latency_row "FoundationDB" (fdb ~nodes:3);
+  row "Standard mix, large (70-78 cores):";
+  latency_row "Tell" (tell ~mix:std ~pn_sn:(8, 7) ~rf:3);
+  latency_row "MySQL Cluster" (ndb ~mix:std ~dn_sql:(9, 4));
+  latency_row "VoltDB" (volt ~mix:std ~nodes:9 ~k:2);
+  latency_row "FoundationDB" (fdb ~nodes:9);
+  (match intensity with
+  | Quick -> ()
+  | Full ->
+      row "Shardable mix, small:";
+      latency_row "Tell" (tell ~mix:shard ~pn_sn:(1, 3) ~rf:3);
+      latency_row "VoltDB" (volt ~mix:shard ~nodes:3 ~k:2);
+      row "Shardable mix, large:";
+      latency_row "Tell" (tell ~mix:shard ~pn_sn:(8, 7) ~rf:3);
+      latency_row "VoltDB" (volt ~mix:shard ~nodes:9 ~k:2))
+
+(* --- Figure 10 + Table 5: network ---------------------------------------------------- *)
+
+let fig10 intensity =
+  section "Figure 10: InfiniBand vs 10Gb Ethernet (write-intensive, RF1): TpmC";
+  let warmup_ns, measure_ns = windows intensity in
+  row "%-6s %14s %14s %8s" "PNs" "InfiniBand" "10GbE" "ratio";
+  List.iter
+    (fun n_pns ->
+      let run net =
+        report_of
+          (Scenarios.run_tell { Scenarios.default_tell with n_pns; net; warmup_ns; measure_ns })
+      in
+      match (run Sim.Net.infiniband, run Sim.Net.ethernet_10g) with
+      | Some ib, Some eth ->
+          row "%-6d %14.0f %14.0f %7.1fx" n_pns (Tpcc.Driver.tpmc ib) (Tpcc.Driver.tpmc eth)
+            (Tpcc.Driver.tpmc ib /. Float.max 1.0 (Tpcc.Driver.tpmc eth))
+      | _ -> row "%-6d (no data)" n_pns)
+    (pn_points intensity)
+
+let table5 intensity =
+  section "Table 5: Network latency detail (8 PNs, RF1)";
+  let warmup_ns, measure_ns = windows intensity in
+  row "%-14s %12s %18s %10s %10s" "Network" "TpmC" "lat mean±σ (ms)" "TP99(ms)" "TP999(ms)";
+  List.iter
+    (fun (label, net) ->
+      match
+        report_of
+          (Scenarios.run_tell
+             { Scenarios.default_tell with n_pns = 8; net; warmup_ns; measure_ns })
+      with
+      | Some r ->
+          row "%-14s %12.0f %9.2f ± %-6.2f %10.2f %10.2f" label (Tpcc.Driver.tpmc r)
+            (Tpcc.Driver.mean_latency_ms r) (Tpcc.Driver.stddev_latency_ms r)
+            (Tpcc.Driver.percentile_latency_ms r 99.0)
+            (Tpcc.Driver.percentile_latency_ms r 99.9)
+      | None -> row "%-14s (no data)" label)
+    [ ("InfiniBand", Sim.Net.infiniband); ("10Gb Ethernet", Sim.Net.ethernet_10g) ]
+
+(* --- Figure 11: buffering strategies --------------------------------------------------- *)
+
+let fig11 intensity =
+  section "Figure 11: Buffering strategies (write-intensive, RF1): TpmC";
+  let warmup_ns, measure_ns = windows intensity in
+  let strategies =
+    [
+      ("TB", Buffer_pool.Transaction_buffer);
+      ("SB", Buffer_pool.Shared_record_buffer { capacity = 100_000 });
+      ("SBVS10", Buffer_pool.Shared_vs_buffer { capacity = 100_000; unit_size = 10 });
+      ("SBVS1000", Buffer_pool.Shared_vs_buffer { capacity = 100_000; unit_size = 1000 });
+    ]
+  in
+  row "%-6s %s" "PNs"
+    (String.concat "" (List.map (fun (name, _) -> Printf.sprintf "%12s" name) strategies));
+  List.iter
+    (fun n_pns ->
+      let cells =
+        List.map
+          (fun (_, buffer) ->
+            match
+              report_of
+                (Scenarios.run_tell
+                   { Scenarios.default_tell with n_pns; buffer; warmup_ns; measure_ns })
+            with
+            | Some r -> Printf.sprintf "%12.0f" (Tpcc.Driver.tpmc r)
+            | None -> Printf.sprintf "%12s" "OOM")
+          strategies
+      in
+      row "%-6d %s" n_pns (String.concat "" cells))
+    [ 1; 4; 8 ]
+
+(* --- Ablation: §5.2 operator push-down ------------------------------------------------ *)
+
+(* Not part of the paper's evaluation (it is proposed as future work in
+   §5.2): quantify what executing selection/projection inside the storage
+   nodes saves on an analytical scan over live data. *)
+let ablation_pushdown _intensity =
+  section "Ablation (§5.2): OLAP scan — PN-side pipeline vs storage-side push-down";
+  let engine = Sim.Engine.create () in
+  let db =
+    Database.create engine
+      ~kv_config:{ Tell_kv.Cluster.default_config with n_storage_nodes = 7 }
+      ()
+  in
+  let pn = Database.add_pn db () in
+  let scale = Tpcc.Spec.sim_scale ~warehouses:8 in
+  let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:5 in
+  let net = Tell_kv.Cluster.net (Database.cluster db) in
+  (* Sum the open order lines of one warehouse: selective predicate,
+     narrow projection — the push-down sweet spot. *)
+  let predicate =
+    Query.Binop
+      ( Query.And,
+        Query.Binop (Query.Eq, Query.Col 0, Query.Lit (Value.Int 3)),
+        Query.Binop (Query.Eq, Query.Col 6, Query.Lit (Value.Int 0)) )
+  in
+  let measure label mk =
+    let result = ref None in
+    Sim.Engine.spawn engine (fun () ->
+        Sim.Net.reset_counters net;
+        let t0 = Sim.Engine.now engine in
+        let total =
+          Database.with_txn pn (fun txn ->
+              let rows = Query.to_list (mk txn) in
+              List.fold_left (fun acc r -> acc +. Value.as_float r.(0)) 0.0 rows)
+        in
+        result := Some (total, Sim.Engine.now engine - t0, Sim.Net.bytes_sent net));
+    Sim.Engine.run engine ~until:(Sim.Engine.now engine + 30_000_000_000) ();
+    match !result with
+    | Some (total, elapsed_ns, bytes) ->
+        row "  %-24s sum=%.2f  %8.2f virtual ms  %10d bytes over the network" label total
+          (float_of_int elapsed_ns /. 1e6) bytes;
+        (total, bytes)
+    | None -> invalid_arg ("ablation did not finish: " ^ label)
+  in
+  let pn_side, pn_bytes =
+    measure "PN-side scan" (fun txn ->
+        Query.project
+          [ Query.Col 8 ]
+          (Query.filter predicate (Query.seq_scan txn ~table:"orderline")))
+  in
+  let pushed, pushed_bytes =
+    measure "storage push-down" (fun txn ->
+        Pushdown.scan txn ~table:"orderline" ~predicate ~projection:[ 8 ] ())
+  in
+  row "  results agree: %b; network bytes reduced %.1fx" (Float.abs (pn_side -. pushed) < 0.01)
+    (float_of_int pn_bytes /. float_of_int (max 1 pushed_bytes))
+
+(* --- Ablation: §5.1 aggressive request batching ---------------------------------------- *)
+
+let ablation_batching intensity =
+  section "Ablation (§5.1): request batching on vs off (write-intensive, 4 PNs, RF1)";
+  let warmup_ns, measure_ns = windows intensity in
+  let run ~max_batch =
+    let engine = Sim.Engine.create () in
+    let kv_config =
+      { Tell_kv.Cluster.default_config with client_max_batch = max_batch }
+    in
+    let db = Database.create engine ~kv_config () in
+    let pns = List.init 4 (fun _ -> Database.add_pn db ()) in
+    let scale = Tpcc.Spec.sim_scale ~warehouses:32 in
+    let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:5 in
+    let tell = Tpcc.Tell_engine.create db ~pns ~scale in
+    let config = { Tpcc.Driver.terminals = 32; warmup_ns; measure_ns; seed = 9 } in
+    let report =
+      Tpcc.Driver.run
+        (module Tpcc.Tell_engine : Tpcc.Engine_intf.ENGINE
+          with type t = Tpcc.Tell_engine.t
+           and type conn = Tpcc.Tell_engine.conn)
+        tell ~engine ~scale ~mix:Tpcc.Spec.standard_mix ~config ()
+    in
+    let pn = List.nth pns 0 in
+    let requests = Tell_kv.Client.requests_sent (Pn.kv pn) in
+    let ops = Tell_kv.Client.ops_sent (Pn.kv pn) in
+    (Tpcc.Driver.tpmc report, float_of_int ops /. float_of_int (max 1 requests))
+  in
+  let tpmc_on, ratio_on = run ~max_batch:64 in
+  let tpmc_off, ratio_off = run ~max_batch:1 in
+  row "  batching on   TpmC=%10.0f  ops/request=%.2f" tpmc_on ratio_on;
+  row "  batching off  TpmC=%10.0f  ops/request=%.2f" tpmc_off ratio_off;
+  row "  batching gain: %.2fx" (tpmc_on /. Float.max 1.0 tpmc_off)
+
+(* --- entry points ------------------------------------------------------------------------ *)
+
+let all intensity =
+  table1 intensity;
+  table2 intensity;
+  fig5 intensity;
+  fig6 intensity;
+  table3 intensity;
+  fig7 intensity;
+  ignore (fig8 intensity);
+  ignore (fig9 intensity);
+  table4 intensity;
+  fig10 intensity;
+  table5 intensity;
+  fig11 intensity;
+  ablation_pushdown intensity;
+  ablation_batching intensity
+
+let by_name name intensity =
+  match String.lowercase_ascii name with
+  | "table1" -> table1 intensity
+  | "table2" -> table2 intensity
+  | "fig5" -> fig5 intensity
+  | "fig6" -> fig6 intensity
+  | "table3" -> table3 intensity
+  | "fig7" -> fig7 intensity
+  | "fig8" -> ignore (fig8 intensity)
+  | "fig9" -> ignore (fig9 intensity)
+  | "table4" -> table4 intensity
+  | "fig10" -> fig10 intensity
+  | "table5" -> table5 intensity
+  | "fig11" -> fig11 intensity
+  | "ablation" -> ablation_pushdown intensity
+  | "ablation-batching" -> ablation_batching intensity
+  | "all" -> all intensity
+  | other -> invalid_arg ("unknown experiment: " ^ other)
+
+let names =
+  [ "table1"; "table2"; "fig5"; "fig6"; "table3"; "fig7"; "fig8"; "fig9"; "table4"; "fig10"; "table5"; "fig11"; "ablation"; "ablation-batching" ]

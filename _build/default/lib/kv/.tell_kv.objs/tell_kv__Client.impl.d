@@ -1,0 +1,1 @@
+lib/kv/client.ml: Array Cluster Directory Hashtbl List Op Option Printf Queue Storage_node String Tell_sim

@@ -1,0 +1,1 @@
+lib/kv/client.mli: Cluster Op Tell_sim

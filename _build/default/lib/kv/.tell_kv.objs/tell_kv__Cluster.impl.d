@@ -1,0 +1,1 @@
+lib/kv/cluster.ml: Array Directory List Option Storage_node String Tell_sim

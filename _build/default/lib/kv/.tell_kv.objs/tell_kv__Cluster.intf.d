@@ -1,0 +1,1 @@
+lib/kv/cluster.mli: Directory Op Storage_node Tell_sim

@@ -1,0 +1,1 @@
+lib/kv/directory.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/kv/op.ml: List String

@@ -1,0 +1,1 @@
+lib/kv/storage_node.ml: Bytes Hashtbl Int64 List Op Option Printf String Tell_sim

@@ -1,0 +1,1 @@
+lib/kv/storage_node.mli: Op Tell_sim

@@ -1,0 +1,299 @@
+module Sim = Tell_sim
+
+type pending = { op : Op.t; reply : Op.result Sim.Ivar.t }
+
+type lane = { mutable in_flight : bool; queued : pending Queue.t }
+
+type t = {
+  cluster : Cluster.t;
+  group : Sim.Engine.Group.t;
+  lanes : lane array;  (** indexed by storage-node id *)
+  mutable cached_masters : int array;
+  mutable requests_sent : int;
+  mutable ops_sent : int;
+}
+
+let max_retries = 8
+
+let create cluster ~group =
+  let n = Array.length (Cluster.nodes cluster) in
+  {
+    cluster;
+    group;
+    lanes = Array.init n (fun _ -> { in_flight = false; queued = Queue.create () });
+    cached_masters = Directory.masters_snapshot (Cluster.directory cluster);
+    requests_sent = 0;
+    ops_sent = 0;
+  }
+
+let cluster t = t.cluster
+let group t = t.group
+let requests_sent t = t.requests_sent
+let ops_sent t = t.ops_sent
+
+let engine t = Cluster.engine t.cluster
+
+let master_for t key =
+  let dir = Cluster.directory t.cluster in
+  let p = Directory.partition_of_key dir key in
+  if p < Array.length t.cached_masters then t.cached_masters.(p)
+  else Directory.master dir p
+
+(* Refresh the cached directory from the management node: one network
+   round trip plus a little management CPU. *)
+let refresh_directory t =
+  let net = Cluster.net t.cluster in
+  Sim.Net.transfer net ~bytes:64;
+  Sim.Resource.use (Cluster.mgmt_cpu t.cluster) ~demand:2_000;
+  let snapshot = Directory.masters_snapshot (Cluster.directory t.cluster) in
+  Sim.Net.transfer net ~bytes:(16 + (4 * Array.length snapshot));
+  t.cached_masters <- snapshot
+
+(* Synchronously replicate the effective writes of a batch to the backups
+   of each partition involved (ROWA, §4.4.2).  Backups are contacted in
+   parallel; the master's reply to the client waits for every ack. *)
+let replicate t ~sn_id writes =
+  match writes with
+  | [] -> ()
+  | _ :: _ ->
+      let dir = Cluster.directory t.cluster in
+      let net = Cluster.net t.cluster in
+      let by_backup = Hashtbl.create 4 in
+      List.iter
+        (fun (op, outcome) ->
+          let p = Directory.partition_of_key dir (Op.key_of op) in
+          if Directory.master dir p = sn_id then
+            List.iter
+              (fun b ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt by_backup b) in
+                Hashtbl.replace by_backup b ((op, outcome) :: prev))
+              (Directory.backups dir p))
+        writes;
+      (* Chain replication cost: the backups of one batch are written by
+         the calling fiber one after the other — each write pays the raw
+         round trip plus the backup's log-management latency.  This is the
+         synchronous-replication latency that dominates write-heavy
+         response times (§6.3.1). *)
+      let latency_per_write = (Cluster.config t.cluster).replication_latency_ns in
+      Hashtbl.iter
+        (fun backup_id batch ->
+          let bytes = List.fold_left (fun a (op, _) -> a + Op.request_bytes op) 32 batch in
+          Sim.Net.transfer net ~bytes;
+          let node = Cluster.node t.cluster backup_id in
+          if Storage_node.alive node then begin
+            List.iter
+              (fun (op, outcome) -> Storage_node.apply_replica node op outcome)
+              (List.rev batch);
+            Sim.Engine.sleep (engine t) (List.length batch * latency_per_write)
+          end;
+          Sim.Net.transfer net ~bytes:32)
+        by_backup
+
+let rec dispatch t ~sn_id lane =
+  let max_batch = (Cluster.config t.cluster).client_max_batch in
+  let batch = ref [] in
+  let n = ref 0 in
+  while !n < max_batch && not (Queue.is_empty lane.queued) do
+    batch := Queue.pop lane.queued :: !batch;
+    incr n
+  done;
+  match List.rev !batch with
+  | [] -> lane.in_flight <- false
+  | batch ->
+      lane.in_flight <- true;
+      Sim.Engine.spawn (engine t) ~group:t.group (fun () -> run_batch t ~sn_id lane batch)
+
+and run_batch t ~sn_id lane batch =
+  let net = Cluster.net t.cluster in
+  let node = Cluster.node t.cluster sn_id in
+  t.requests_sent <- t.requests_sent + 1;
+  t.ops_sent <- t.ops_sent + List.length batch;
+  let finish () =
+    (* Keep the lane draining even if this fiber dies mid-request. *)
+    dispatch t ~sn_id lane
+  in
+  (try
+     let request_bytes =
+       List.fold_left (fun acc p -> acc + Op.request_bytes p.op) 32 batch
+     in
+     Sim.Net.transfer net ~bytes:request_bytes;
+     if not (Storage_node.alive node) then begin
+       (* The request vanishes into a dead node: clients only learn
+          through a timeout. *)
+       Sim.Engine.sleep (engine t) (Cluster.config t.cluster).client_timeout_ns;
+       let err = Op.Unavailable (Printf.sprintf "sn%d" sn_id) in
+       List.iter (fun p -> Sim.Ivar.fill_exn p.reply err) batch
+     end
+     else begin
+       let outcomes =
+         List.map
+           (fun p ->
+             if Storage_node.alive node then (p, `Outcome (Storage_node.apply node p.op))
+             else (p, `Died))
+           batch
+       in
+       let effective_writes =
+         List.filter_map
+           (fun (p, o) ->
+             match o with
+             | `Outcome outcome when Op.is_write p.op -> (
+                 match outcome with
+                 | Op.Conflict -> None
+                 | outcome -> Some (p.op, outcome))
+             | `Outcome _ | `Died -> None)
+           outcomes
+       in
+       (* Master-side coordination of synchronous replication occupies the
+          master's CPU in addition to the backups' round trips. *)
+       (match effective_writes with
+       | [] -> ()
+       | writes ->
+           let dir = Cluster.directory t.cluster in
+           let n_backups =
+             List.fold_left
+               (fun acc (op, _) ->
+                 acc
+                 + List.length
+                     (Directory.backups dir (Directory.partition_of_key dir (Op.key_of op))))
+               0 writes
+           in
+           if n_backups > 0 then
+             Tell_sim.Resource.use (Storage_node.cpu node)
+               ~demand:(n_backups * (Cluster.config t.cluster).replication_coord_ns));
+       replicate t ~sn_id effective_writes;
+       let reply_bytes =
+         List.fold_left
+           (fun acc (_, o) ->
+             match o with `Outcome r -> acc + Op.result_bytes r | `Died -> acc)
+           32 outcomes
+       in
+       Sim.Net.transfer net ~bytes:reply_bytes;
+       List.iter
+         (fun (p, o) ->
+           match o with
+           | `Outcome r -> Sim.Ivar.fill p.reply r
+           | `Died -> Sim.Ivar.fill_exn p.reply (Op.Unavailable (Printf.sprintf "sn%d" sn_id)))
+         outcomes
+     end
+   with e -> List.iter (fun p -> (try Sim.Ivar.fill_exn p.reply e with _ -> ())) batch);
+  finish ()
+
+let enqueue t op =
+  let sn_id = master_for t (Op.key_of op) in
+  let lane = t.lanes.(sn_id) in
+  let reply = Sim.Ivar.create (engine t) in
+  Queue.push { op; reply } lane.queued;
+  (sn_id, lane, reply)
+
+let kick t sn_id lane = if not lane.in_flight then dispatch t ~sn_id lane
+
+let submit t op =
+  let sn_id, lane, reply = enqueue t op in
+  kick t sn_id lane;
+  reply
+
+(* Enqueue a whole list before kicking lanes, so that operations of a
+   multi-record call travel together per storage node. *)
+let submit_many t ops =
+  let touched = Hashtbl.create 8 in
+  let replies =
+    List.map
+      (fun op ->
+        let sn_id, lane, reply = enqueue t op in
+        Hashtbl.replace touched sn_id lane;
+        reply)
+      ops
+  in
+  Hashtbl.iter (fun sn_id lane -> kick t sn_id lane) touched;
+  replies
+
+let rec with_retry t ~attempts f =
+  try f ()
+  with Op.Unavailable _ when attempts > 0 ->
+    Sim.Engine.sleep (engine t) 20_000;
+    refresh_directory t;
+    with_retry t ~attempts:(attempts - 1) f
+
+let expect_value = function
+  | Op.Value v -> v
+  | _ -> invalid_arg "Client: protocol mismatch (expected Value)"
+
+let get t key = with_retry t ~attempts:max_retries (fun () -> expect_value (Sim.Ivar.read (submit t (Op.Get key))))
+
+let put t key data =
+  with_retry t ~attempts:max_retries (fun () ->
+      match Sim.Ivar.read (submit t (Op.Put (key, data))) with
+      | Op.Done -> ()
+      | _ -> invalid_arg "Client.put: protocol mismatch")
+
+let put_if t key expected data =
+  with_retry t ~attempts:max_retries (fun () ->
+      match Sim.Ivar.read (submit t (Op.Put_if (key, expected, data))) with
+      | Op.Token token -> `Ok token
+      | Op.Conflict -> `Conflict
+      | _ -> invalid_arg "Client.put_if: protocol mismatch")
+
+let remove_if t key expected =
+  with_retry t ~attempts:max_retries (fun () ->
+      match Sim.Ivar.read (submit t (Op.Remove (key, expected))) with
+      | Op.Done -> `Ok
+      | Op.Conflict -> `Conflict
+      | _ -> invalid_arg "Client.remove_if: protocol mismatch")
+
+let increment t key by =
+  with_retry t ~attempts:max_retries (fun () ->
+      match Sim.Ivar.read (submit t (Op.Increment (key, by))) with
+      | Op.Count v -> v
+      | _ -> invalid_arg "Client.increment: protocol mismatch")
+
+let multi_get t keys =
+  with_retry t ~attempts:max_retries (fun () ->
+      let replies = submit_many t (List.map (fun k -> Op.Get k) keys) in
+      List.map (fun r -> expect_value (Sim.Ivar.read r)) replies)
+
+let multi_write t ops =
+  with_retry t ~attempts:max_retries (fun () ->
+      let replies = submit_many t ops in
+      List.map Sim.Ivar.read replies)
+
+let scan_with t ~op_of =
+  with_retry t ~attempts:max_retries (fun () ->
+      let nodes = Cluster.nodes t.cluster in
+      let replies = ref [] in
+      Array.iteri
+        (fun sn_id node ->
+          (* Backups hold copies of master data, so scanning every live
+             node (and deduplicating below) observes all cells. *)
+          if Storage_node.alive node then begin
+            let lane = t.lanes.(sn_id) in
+            let reply = Sim.Ivar.create (engine t) in
+            Queue.push { op = op_of (); reply } lane.queued;
+            kick t sn_id lane;
+            replies := reply :: !replies
+          end)
+        nodes;
+      let replies = List.rev !replies in
+      let all =
+        List.concat_map
+          (fun r ->
+            match Sim.Ivar.read r with
+            | Op.Keys entries -> entries
+            | _ -> invalid_arg "Client.scan: protocol mismatch")
+          replies
+      in
+      (* Partitions overlap after fail-over re-replication: deduplicate by
+         key, keeping the newest token. *)
+      let best = Hashtbl.create 64 in
+      List.iter
+        (fun (k, v, tok) ->
+          match Hashtbl.find_opt best k with
+          | Some (_, t0) when t0 >= tok -> ()
+          | _ -> Hashtbl.replace best k (v, tok))
+        all;
+      let deduped = Hashtbl.fold (fun k (v, tok) acc -> (k, v, tok) :: acc) best [] in
+      List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) deduped)
+
+let scan_all t ~prefix = scan_with t ~op_of:(fun () -> Op.Scan prefix)
+
+let scan_eval_all t ~prefix ~program =
+  scan_with t ~op_of:(fun () -> Op.Scan_eval (prefix, program))

@@ -1,0 +1,178 @@
+module Sim = Tell_sim
+
+type config = {
+  n_storage_nodes : int;
+  replication_factor : int;
+  partitions_per_node : int;
+  sn_cores : int;
+  sn_capacity_bytes : int;
+  net_profile : Sim.Net.profile;
+  base_service_ns : int;
+  per_byte_service_ns : float;
+  replication_coord_ns : int;
+  replication_latency_ns : int;
+  client_max_batch : int;
+  client_timeout_ns : int;
+  detector_period_ns : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_storage_nodes = 7;
+    replication_factor = 1;
+    partitions_per_node = 8;
+    sn_cores = 4;
+    sn_capacity_bytes = 64 * 1024 * 1024 * 1024;
+    net_profile = Sim.Net.infiniband;
+    base_service_ns = 600;
+    per_byte_service_ns = 0.12;
+    replication_coord_ns = 1_500;
+    replication_latency_ns = 20_000;
+    client_max_batch = 64;
+    client_timeout_ns = 300_000;
+    detector_period_ns = 150_000;
+    seed = 42;
+  }
+
+type t = {
+  engine : Sim.Engine.t;
+  config : config;
+  rng : Sim.Rng.t;
+  net : Sim.Net.t;
+  nodes : Storage_node.t array;
+  directory : Directory.t;
+  mgmt_cpu : Sim.Resource.t;
+  mgmt_group : Sim.Engine.Group.t;
+  mutable handled_crashes : int list;  (** node ids already repaired *)
+}
+
+let create engine config =
+  let rng = Sim.Rng.make config.seed in
+  let net = Sim.Net.create engine (Sim.Rng.split rng) config.net_profile in
+  let nodes =
+    Array.init config.n_storage_nodes (fun id ->
+        Storage_node.create engine ~id ~cores:config.sn_cores
+          ~capacity_bytes:config.sn_capacity_bytes ~base_service_ns:config.base_service_ns
+          ~per_byte_service_ns:config.per_byte_service_ns)
+  in
+  let directory =
+    Directory.create
+      ~n_partitions:(config.n_storage_nodes * config.partitions_per_node)
+      ~n_nodes:config.n_storage_nodes ~replication_factor:config.replication_factor
+  in
+  {
+    engine;
+    config;
+    rng;
+    net;
+    nodes;
+    directory;
+    mgmt_cpu = Sim.Resource.create engine ~servers:2 "mgmt";
+    mgmt_group = Sim.Engine.make_group engine "mgmt";
+    handled_crashes = [];
+  }
+
+let engine t = t.engine
+let config t = t.config
+let directory t = t.directory
+let node t i = t.nodes.(i)
+let nodes t = t.nodes
+let net t = t.net
+let rng t = t.rng
+let mgmt_cpu t = t.mgmt_cpu
+let mgmt_group t = t.mgmt_group
+let crash_node t i = Storage_node.crash t.nodes.(i)
+
+let live_nodes t =
+  Array.fold_left (fun acc n -> if Storage_node.alive n then acc + 1 else acc) 0 t.nodes
+
+let total_bytes_stored t =
+  Array.fold_left
+    (fun acc n -> if Storage_node.alive n then acc + Storage_node.bytes_stored n else acc)
+    0 t.nodes
+
+(* Pick the live node with the fewest partitions assigned, excluding those
+   already in the chain. *)
+let pick_new_backup t ~exclude =
+  let load = Array.make (Array.length t.nodes) 0 in
+  for p = 0 to Directory.n_partitions t.directory - 1 do
+    List.iter (fun n -> load.(n) <- load.(n) + 1) (Directory.replicas t.directory p)
+  done;
+  let best = ref None in
+  Array.iteri
+    (fun i n ->
+      if Storage_node.alive n && not (List.mem i exclude) then
+        match !best with
+        | Some (_, l) when l <= load.(i) -> ()
+        | _ -> best := Some (i, load.(i)))
+    t.nodes;
+  Option.map fst !best
+
+(* Bulk-copy partition [p]'s cells from its (new) master to node [target].
+   The copy streams over the network with bandwidth cost, then installs;
+   concurrent writes reach the target too because it is already listed in
+   the chain, and [Storage_node.load] never overwrites a newer token. *)
+let re_replicate t ~partition ~target =
+  let master_id = Directory.master t.directory partition in
+  let master = t.nodes.(master_id) in
+  let belongs key = Directory.partition_of_key t.directory key = partition in
+  let cells = List.filter (fun (k, _, _) -> belongs k) (Storage_node.snapshot master) in
+  let bytes =
+    List.fold_left (fun acc (k, v, _) -> acc + String.length k + String.length v + 16) 64 cells
+  in
+  Sim.Net.transfer t.net ~bytes;
+  Storage_node.load t.nodes.(target) cells
+
+let repair_after_crash t ~dead =
+  for p = 0 to Directory.n_partitions t.directory - 1 do
+    let chain = Directory.replicas t.directory p in
+    if List.mem dead chain then begin
+      let survivors = List.filter (fun n -> n <> dead) chain in
+      match survivors with
+      | [] ->
+          (* RF1: the partition's data is lost; keep routing somewhere so
+             the system stays available for new writes. *)
+          (match pick_new_backup t ~exclude:[] with
+          | Some fresh -> Directory.set_replicas t.directory p [ fresh ]
+          | None -> ())
+      | _ :: _ -> (
+          match pick_new_backup t ~exclude:survivors with
+          | Some fresh ->
+              Directory.set_replicas t.directory p (survivors @ [ fresh ]);
+              re_replicate t ~partition:p ~target:fresh
+          | None -> Directory.set_replicas t.directory p survivors)
+    end
+  done
+
+let set_pushdown_evaluator t evaluate =
+  Array.iter (fun node -> Storage_node.set_evaluator node evaluate) t.nodes
+
+let poke t ~key ~data =
+  let p = Directory.partition_of_key t.directory key in
+  List.iter
+    (fun sn_id -> Storage_node.load t.nodes.(sn_id) [ (key, data, 1) ])
+    (Directory.replicas t.directory p)
+
+let poke_counter t ~key ~value = poke t ~key ~data:(Storage_node.encode_counter value)
+
+let peek t ~key =
+  let p = Directory.partition_of_key t.directory key in
+  let master = t.nodes.(Directory.master t.directory p) in
+  Option.map fst (Storage_node.find master key)
+
+let start_failure_detector t =
+  Sim.Engine.spawn t.engine ~group:t.mgmt_group (fun () ->
+      while true do
+        Sim.Engine.sleep t.engine t.config.detector_period_ns;
+        Array.iteri
+          (fun i n ->
+            if (not (Storage_node.alive n)) && not (List.mem i t.handled_crashes) then begin
+              t.handled_crashes <- i :: t.handled_crashes;
+              (* Heartbeat timeout already elapsed implicitly: the detector
+                 period bounds detection latency. *)
+              Sim.Resource.use t.mgmt_cpu ~demand:10_000;
+              repair_after_crash t ~dead:i
+            end)
+          t.nodes
+      done)

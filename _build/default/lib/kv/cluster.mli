@@ -1,0 +1,70 @@
+(** The distributed storage system: storage nodes + directory + management
+    node, wired to a simulation engine.
+
+    The management node runs an eventually-perfect failure detector
+    (timeout-based heartbeats, modelled as periodic liveness polls).  When
+    a storage node dies, the detector promotes the surviving head of each
+    affected replica chain to master, appends a fresh backup, and bulk-
+    copies the partition to it, restoring the replication factor — the
+    behaviour of §4.4.2. *)
+
+type config = {
+  n_storage_nodes : int;
+  replication_factor : int;
+  partitions_per_node : int;
+  sn_cores : int;
+  sn_capacity_bytes : int;
+  net_profile : Tell_sim.Net.profile;
+  base_service_ns : int;  (** per-operation server-side service demand *)
+  per_byte_service_ns : float;
+  replication_coord_ns : int;
+      (** master-side CPU per replicated write (backup coordination) *)
+  replication_latency_ns : int;
+      (** backup-side latency per replicated write beyond the raw network
+          round trip (log-segment management, ack path) — the dominant
+          cost of synchronous replication under write-heavy load (§6.3.1) *)
+  client_max_batch : int;
+      (** operations combined into one request per storage-node lane
+          (§5.1 "aggressive batching"); 1 disables batching *)
+  client_timeout_ns : int;  (** how long a client waits before declaring a node dead *)
+  detector_period_ns : int;  (** failure-detector polling period *)
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : Tell_sim.Engine.t -> config -> t
+val engine : t -> Tell_sim.Engine.t
+val config : t -> config
+val directory : t -> Directory.t
+val node : t -> int -> Storage_node.t
+val nodes : t -> Storage_node.t array
+val net : t -> Tell_sim.Net.t
+val rng : t -> Tell_sim.Rng.t
+
+val mgmt_cpu : t -> Tell_sim.Resource.t
+val mgmt_group : t -> Tell_sim.Engine.Group.t
+
+val start_failure_detector : t -> unit
+(** Spawn the management fiber.  Without it, crashes are never repaired
+    (useful for tests that want to observe raw unavailability). *)
+
+val crash_node : t -> int -> unit
+val live_nodes : t -> int
+val total_bytes_stored : t -> int
+
+val set_pushdown_evaluator :
+  t -> (program:string -> key:Op.key -> data:string -> string option) -> unit
+(** Install the §5.2 push-down evaluator on every storage node. *)
+
+val poke : t -> key:Op.key -> data:string -> unit
+(** Install a cell on its master and all backups {e without} consuming
+    virtual time or resources — the bulk-load path for benchmark
+    populations.  Must not be used while the simulation is processing
+    requests for the same keys. *)
+
+val poke_counter : t -> key:Op.key -> value:int -> unit
+val peek : t -> key:Op.key -> string option
+(** Zero-time read from the master copy (for checks in tests). *)

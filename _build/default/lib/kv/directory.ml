@@ -1,0 +1,34 @@
+type partition = { mutable replicas : int list }
+
+type t = { partitions : partition array; mutable version : int }
+
+let create ~n_partitions ~n_nodes ~replication_factor =
+  if replication_factor > n_nodes then
+    invalid_arg "Directory.create: replication factor exceeds node count";
+  let chain p =
+    List.init replication_factor (fun i -> (p + i) mod n_nodes)
+  in
+  {
+    partitions = Array.init n_partitions (fun p -> { replicas = chain p });
+    version = 0;
+  }
+
+let n_partitions t = Array.length t.partitions
+let version t = t.version
+
+let partition_of_key t key = Hashtbl.hash key mod Array.length t.partitions
+
+let master t p =
+  match t.partitions.(p).replicas with
+  | m :: _ -> m
+  | [] -> invalid_arg "Directory.master: partition has no replicas"
+
+let replicas t p = t.partitions.(p).replicas
+let backups t p = match t.partitions.(p).replicas with [] -> [] | _ :: tail -> tail
+
+let set_replicas t p chain =
+  if chain = [] then invalid_arg "Directory.set_replicas: empty chain";
+  t.partitions.(p).replicas <- chain;
+  t.version <- t.version + 1
+
+let masters_snapshot t = Array.init (Array.length t.partitions) (master t)

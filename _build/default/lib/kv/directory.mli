@@ -1,0 +1,26 @@
+(** Partition directory: maps keys to replica chains.
+
+    The key space is hash-partitioned; each partition has a replica chain
+    whose head is the master.  The management node mutates the directory on
+    fail-over; clients keep a cached copy of the master assignment and
+    refresh it (a simulated RPC) when they hit a dead node. *)
+
+type t
+
+val create : n_partitions:int -> n_nodes:int -> replication_factor:int -> t
+val n_partitions : t -> int
+val version : t -> int
+val partition_of_key : t -> Op.key -> int
+val master : t -> int -> int
+
+val replicas : t -> int -> int list
+(** Full replica chain of a partition, master first. *)
+
+val backups : t -> int -> int list
+
+val set_replicas : t -> int -> int list -> unit
+(** Replace a partition's replica chain (management node only); bumps the
+    directory version. *)
+
+val masters_snapshot : t -> int array
+(** Current master per partition — what a client caches. *)

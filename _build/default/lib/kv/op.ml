@@ -1,0 +1,67 @@
+(* Wire-level operations of the record store.
+
+   Values are opaque byte strings.  Every stored cell carries a {e token}:
+   a per-key write counter that implements load-link / store-conditional.
+   [Get] returns the current token (the "load-link"); a subsequent
+   [Put_if (key, Some token, v)] succeeds only if the cell has not been
+   written in between (the "store-conditional").  Because the token counts
+   writes rather than comparing values, the ABA problem does not arise. *)
+
+type key = string
+
+type t =
+  | Get of key
+  | Put of key * string  (** unconditional upsert (transaction-log entries, CM state) *)
+  | Put_if of key * int option * string
+      (** conditional write: [Some token] = store-conditional against that
+          load-link token; [None] = succeed only if the key is absent *)
+  | Remove of key * int option  (** conditional delete; [None] = unconditional *)
+  | Increment of key * int  (** atomic fetch-and-add on an integer cell, returns new value *)
+  | Scan of string  (** all live cells whose key has the given prefix *)
+  | Scan_eval of string * string
+      (** push-down scan (§5.2 extension): [Scan_eval (prefix, program)]
+          runs the node-registered evaluator over every cell under
+          [prefix] and returns only the (typically much smaller) outputs
+          — selection and projection execute inside the storage layer *)
+
+type result =
+  | Value of (string * int) option  (** reply to [Get]: (value, token) *)
+  | Token of int  (** conditional write succeeded; the new token *)
+  | Conflict  (** store-conditional failed: the cell changed (or existed) *)
+  | Count of int  (** reply to [Increment]: the post-increment value *)
+  | Keys of (key * string * int) list  (** reply to [Scan] *)
+  | Done  (** reply to [Put] / unconditional [Remove] *)
+
+exception Unavailable of string
+(** The responsible storage node could not be reached (crash + fail-over in
+    progress).  Clients retry after refreshing the partition directory. *)
+
+exception Capacity_exceeded of int
+(** The storage node identified by the payload ran out of memory. *)
+
+let key_of = function
+  | Get k | Put (k, _) | Put_if (k, _, _) | Remove (k, _) | Increment (k, _) -> k
+  | Scan p | Scan_eval (p, _) -> p
+
+let is_write = function
+  | Get _ | Scan _ | Scan_eval _ -> false
+  | Put _ | Put_if _ | Remove _ | Increment _ -> true
+
+(* Approximate wire sizes, for the network model. *)
+let per_op_overhead = 24
+
+let request_bytes = function
+  | Get k -> String.length k + per_op_overhead
+  | Put (k, v) | Put_if (k, _, v) -> String.length k + String.length v + per_op_overhead
+  | Remove (k, _) -> String.length k + per_op_overhead
+  | Increment (k, _) -> String.length k + 8 + per_op_overhead
+  | Scan p -> String.length p + per_op_overhead
+  | Scan_eval (p, program) -> String.length p + String.length program + per_op_overhead
+
+let result_bytes = function
+  | Value (Some (v, _)) -> String.length v + per_op_overhead
+  | Value None | Token _ | Conflict | Count _ | Done -> per_op_overhead
+  | Keys entries ->
+      List.fold_left
+        (fun acc (k, v, _) -> acc + String.length k + String.length v + per_op_overhead)
+        per_op_overhead entries

@@ -1,0 +1,223 @@
+type cell = { mutable data : string; mutable token : int }
+
+type t = {
+  engine : Tell_sim.Engine.t;
+  id : int;
+  group : Tell_sim.Engine.Group.t;
+  cpu : Tell_sim.Resource.t;
+  cells : (Op.key, cell) Hashtbl.t;
+  mutable bytes_stored : int;
+  capacity_bytes : int;
+  base_service_ns : int;
+  per_byte_service_ns : float;
+  mutable alive : bool;
+  mutable evaluator : (program:string -> key:Op.key -> data:string -> string option) option;
+}
+
+let create engine ~id ~cores ~capacity_bytes ~base_service_ns ~per_byte_service_ns =
+  let label = Printf.sprintf "sn%d" id in
+  {
+    engine;
+    id;
+    group = Tell_sim.Engine.make_group engine label;
+    cpu = Tell_sim.Resource.create engine ~servers:cores label;
+    cells = Hashtbl.create 4096;
+    bytes_stored = 0;
+    capacity_bytes;
+    base_service_ns;
+    per_byte_service_ns;
+    alive = true;
+    evaluator = None;
+  }
+
+let id t = t.id
+let alive t = t.alive
+let group t = t.group
+
+let crash t =
+  t.alive <- false;
+  Tell_sim.Engine.Group.kill t.group
+
+let bytes_stored t = t.bytes_stored
+let capacity_bytes t = t.capacity_bytes
+let cpu t = t.cpu
+
+let cell_bytes key data = String.length key + String.length data + 48
+
+let charge t bytes =
+  let demand =
+    t.base_service_ns + int_of_float (t.per_byte_service_ns *. float_of_int bytes)
+  in
+  Tell_sim.Resource.use t.cpu ~demand
+
+let account_put t key ~old_data ~new_data =
+  let delta =
+    match old_data with
+    | None -> cell_bytes key new_data
+    | Some old_data -> String.length new_data - String.length old_data
+  in
+  t.bytes_stored <- t.bytes_stored + delta
+
+let check_capacity t key ~old_data ~new_data =
+  let delta =
+    match old_data with
+    | None -> cell_bytes key new_data
+    | Some old_data -> String.length new_data - String.length old_data
+  in
+  if delta > 0 && t.bytes_stored + delta > t.capacity_bytes then
+    raise (Op.Capacity_exceeded t.id)
+
+let store t key data =
+  match Hashtbl.find_opt t.cells key with
+  | Some cell ->
+      check_capacity t key ~old_data:(Some cell.data) ~new_data:data;
+      account_put t key ~old_data:(Some cell.data) ~new_data:data;
+      cell.data <- data;
+      cell.token <- cell.token + 1;
+      cell.token
+  | None ->
+      check_capacity t key ~old_data:None ~new_data:data;
+      account_put t key ~old_data:None ~new_data:data;
+      Hashtbl.replace t.cells key { data; token = 1 };
+      1
+
+let drop t key =
+  match Hashtbl.find_opt t.cells key with
+  | None -> ()
+  | Some cell ->
+      t.bytes_stored <- t.bytes_stored - cell_bytes key cell.data;
+      Hashtbl.remove t.cells key
+
+let decode_int s = if String.length s = 8 then Some (Int64.to_int (String.get_int64_le s 0)) else None
+
+let encode_int v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Bytes.unsafe_to_string b
+
+let execute t (op : Op.t) : Op.result =
+  match op with
+  | Get key -> (
+      match Hashtbl.find_opt t.cells key with
+      | Some cell -> Value (Some (cell.data, cell.token))
+      | None -> Value None)
+  | Put (key, data) ->
+      let _ = store t key data in
+      Done
+  | Put_if (key, expected, data) -> (
+      match (Hashtbl.find_opt t.cells key, expected) with
+      | None, None -> Token (store t key data)
+      | None, Some _ -> Conflict
+      | Some _, None -> Conflict
+      | Some cell, Some token ->
+          if cell.token = token then Token (store t key data) else Conflict)
+  | Remove (key, expected) -> (
+      match (Hashtbl.find_opt t.cells key, expected) with
+      | None, _ -> Done
+      | Some _, None ->
+          drop t key;
+          Done
+      | Some cell, Some token ->
+          if cell.token = token then begin
+            drop t key;
+            Done
+          end
+          else Conflict)
+  | Increment (key, by) -> (
+      match Hashtbl.find_opt t.cells key with
+      | Some cell -> (
+          match decode_int cell.data with
+          | Some v ->
+              let v = v + by in
+              cell.data <- encode_int v;
+              cell.token <- cell.token + 1;
+              Count v
+          | None -> invalid_arg "Storage_node: Increment on non-integer cell")
+      | None ->
+          let _ = store t key (encode_int by) in
+          Count by)
+  | Scan prefix ->
+      let matches = ref [] in
+      let plen = String.length prefix in
+      Hashtbl.iter
+        (fun key cell ->
+          if String.length key >= plen && String.sub key 0 plen = prefix then
+            matches := (key, cell.data, cell.token) :: !matches)
+        t.cells;
+      Keys (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !matches)
+  | Scan_eval (prefix, program) -> (
+      match t.evaluator with
+      | None -> invalid_arg "Storage_node: no push-down evaluator registered"
+      | Some evaluate ->
+          let matches = ref [] in
+          let plen = String.length prefix in
+          Hashtbl.iter
+            (fun key cell ->
+              if String.length key >= plen && String.sub key 0 plen = prefix then
+                match evaluate ~program ~key ~data:cell.data with
+                | Some projected -> matches := (key, projected, cell.token) :: !matches
+                | None -> ())
+            t.cells;
+          Keys (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !matches))
+
+let apply t op =
+  let bytes =
+    match op with
+    | Op.Scan _ ->
+        (* A scan walks the whole partition: charge per cell visited. *)
+        Hashtbl.length t.cells * 4
+    | Op.Scan_eval _ ->
+        (* Push-down pays scan plus per-cell evaluation. *)
+        Hashtbl.length t.cells * 10
+    | op -> Op.request_bytes op
+  in
+  charge t bytes;
+  execute t op
+
+(* Replicas install the master's outcome verbatim: only effective writes
+   are shipped, so conditions have already been decided. *)
+let apply_replica t (op : Op.t) (outcome : Op.result) =
+  charge t (Op.request_bytes op);
+  match (op, outcome) with
+  | Put_if (key, _, data), Token token ->
+      (* Preserve the master's token so LL/SC tokens survive a fail-over. *)
+      let _ = store t key data in
+      (match Hashtbl.find_opt t.cells key with Some cell -> cell.token <- token | None -> ())
+  | Put (key, data), _ ->
+      let _ = store t key data in
+      ()
+  | Remove (key, _), _ -> drop t key
+  | Increment (key, _), Count v ->
+      let _ = store t key (encode_int v) in
+      ()
+  | (Put_if _ | Increment _), _ -> ()
+  | (Get _ | Scan _ | Scan_eval _), _ -> ()
+
+let snapshot t = Hashtbl.fold (fun key cell acc -> (key, cell.data, cell.token) :: acc) t.cells []
+
+(* Never step backwards: a concurrent write forwarded during re-replication
+   must not be clobbered by the (older) bulk snapshot. *)
+let load t entries =
+  List.iter
+    (fun (key, data, token) ->
+      match Hashtbl.find_opt t.cells key with
+      | Some old when old.token >= token -> ()
+      | Some old ->
+          t.bytes_stored <- t.bytes_stored - cell_bytes key old.data;
+          t.bytes_stored <- t.bytes_stored + cell_bytes key data;
+          Hashtbl.replace t.cells key { data; token }
+      | None ->
+          t.bytes_stored <- t.bytes_stored + cell_bytes key data;
+          Hashtbl.replace t.cells key { data; token })
+    entries
+
+let wipe t =
+  Hashtbl.reset t.cells;
+  t.bytes_stored <- 0
+
+let encode_counter = encode_int
+
+let set_evaluator t evaluate = t.evaluator <- Some evaluate
+
+let find t key =
+  Option.map (fun cell -> (cell.data, cell.token)) (Hashtbl.find_opt t.cells key)

@@ -1,0 +1,61 @@
+(** A single in-memory storage node (SN).
+
+    Each node owns one CPU queueing resource and a flat keyspace of
+    versioned cells.  The same node object holds both master partitions
+    and backup replicas of other nodes' partitions: the cells are stored
+    identically and a fail-over merely redirects clients.  Operations are
+    executed by the calling (client) fiber, charging the node's CPU — the
+    standard inline-RPC idiom of the simulator. *)
+
+type t
+
+val create :
+  Tell_sim.Engine.t ->
+  id:int ->
+  cores:int ->
+  capacity_bytes:int ->
+  base_service_ns:int ->
+  per_byte_service_ns:float ->
+  t
+
+val id : t -> int
+val alive : t -> bool
+val group : t -> Tell_sim.Engine.Group.t
+
+val crash : t -> unit
+(** Mark the node dead and kill its fibers.  Its memory content is
+    considered lost (DRAM volatility). *)
+
+val bytes_stored : t -> int
+val capacity_bytes : t -> int
+val cpu : t -> Tell_sim.Resource.t
+
+val apply : t -> Op.t -> Op.result
+(** Execute one operation against the local store, charging CPU time.
+    Raises {!Op.Capacity_exceeded} when an insert/update would exceed the
+    configured memory capacity.  Must be called from a fiber. *)
+
+val apply_replica : t -> Op.t -> Op.result -> unit
+(** Install the effect of a master-side operation on a backup copy.  The
+    master's [result] disambiguates conditional writes: only successful
+    writes are shipped to replicas, so this unconditionally applies. *)
+
+val snapshot : t -> (Op.key * string * int) list
+(** Dump all cells (for re-replication after fail-over). *)
+
+val load : t -> (Op.key * string * int) list -> unit
+(** Install cells wholesale (target side of re-replication). *)
+
+val wipe : t -> unit
+
+val encode_counter : int -> string
+(** The on-wire representation of an integer cell, as maintained by
+    [Increment] — for loaders that install counters directly. *)
+
+val find : t -> Op.key -> (string * int) option
+(** Zero-time local lookup (no CPU charge) — loader/test support. *)
+
+val set_evaluator : t -> (program:string -> key:Op.key -> data:string -> string option) -> unit
+(** Register the push-down evaluator used by [Scan_eval] operations
+    (§5.2 extension).  The evaluator returns the projected output for a
+    matching cell, or [None] to filter it out. *)

@@ -1,0 +1,1 @@
+lib/sim/rng.ml: Array Char Float Random String

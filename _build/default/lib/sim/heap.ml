@@ -1,0 +1,77 @@
+(* Binary min-heap of timestamped events.  Ordering key is [(time, seq)]:
+   [seq] is a monotonically increasing tie-breaker so that events scheduled
+   at the same virtual instant fire in FIFO order, which keeps simulations
+   deterministic. *)
+
+type 'a entry = { time : int; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy payload = { time = 0; seq = 0; payload }
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t entry =
+  let capacity = Array.length t.data in
+  if t.size = capacity then begin
+    let new_capacity = if capacity = 0 then 64 else capacity * 2 in
+    let data = Array.make new_capacity (dummy entry.payload) in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let rec sift_up data i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes data.(i) data.(parent) then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(parent);
+      data.(parent) <- tmp;
+      sift_up data parent
+    end
+  end
+
+let rec sift_down data size i =
+  let left = (2 * i) + 1 in
+  if left < size then begin
+    let right = left + 1 in
+    let smallest = if right < size && precedes data.(right) data.(left) then right else left in
+    if precedes data.(smallest) data.(i) then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(smallest);
+      data.(smallest) <- tmp;
+      sift_down data size smallest
+    end
+  end
+
+let push t ~time payload =
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t.data (t.size - 1)
+
+let peek_time t = if t.size = 0 then None else Some t.data.(0).time
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t.data t.size 0
+    end;
+    Some (top.time, top.payload)
+  end

@@ -1,0 +1,42 @@
+type 'a state = Empty of Engine.resume list | Full of 'a | Failed of exn
+
+type 'a t = { engine : Engine.t; mutable state : 'a state }
+
+let create engine = { engine; state = Empty [] }
+
+let is_filled t = match t.state with Empty _ -> false | Full _ | Failed _ -> true
+
+let wake t waiters =
+  (* Resume at the current virtual instant, preserving arrival order. *)
+  List.iter (fun (r : Engine.resume) -> Engine.schedule t.engine r.resume) (List.rev waiters)
+
+let fill t v =
+  match t.state with
+  | Full _ | Failed _ -> invalid_arg "Ivar.fill: already filled"
+  | Empty waiters ->
+      t.state <- Full v;
+      wake t waiters
+
+let fill_exn t e =
+  match t.state with
+  | Full _ | Failed _ -> invalid_arg "Ivar.fill_exn: already filled"
+  | Empty waiters ->
+      t.state <- Failed e;
+      wake t waiters
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Failed e -> raise e
+  | Empty _ ->
+      Engine.suspend t.engine (fun r ->
+          match t.state with
+          | Empty waiters -> t.state <- Empty (r :: waiters)
+          | Full _ | Failed _ -> r.resume ());
+      (* Re-examine: the ivar is necessarily filled once we are resumed. *)
+      (match t.state with
+      | Full v -> v
+      | Failed e -> raise e
+      | Empty _ -> assert false)
+
+let peek t = match t.state with Full v -> Some v | Empty _ | Failed _ -> None

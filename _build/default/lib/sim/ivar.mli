@@ -1,0 +1,21 @@
+(** Write-once synchronisation variable for fibers ("incremental variable").
+
+    The canonical building block for simulated RPC: the caller creates an
+    ivar, sends a request event, and {!read}s the ivar; the responder
+    {!fill}s it when the reply arrives. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val fill : 'a t -> 'a -> unit
+
+val fill_exn : 'a t -> exn -> unit
+(** Complete the ivar with an exception: readers re-raise it. *)
+
+val is_filled : 'a t -> bool
+
+val read : 'a t -> 'a
+(** Suspend the calling fiber until the ivar is filled; returns immediately
+    if it already is. *)
+
+val peek : 'a t -> 'a option

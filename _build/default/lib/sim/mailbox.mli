@@ -1,0 +1,12 @@
+(** Unbounded FIFO message queue between fibers. *)
+
+type 'a t
+
+val create : Engine.t -> 'a t
+val send : 'a t -> 'a -> unit
+
+val recv : 'a t -> 'a
+(** Suspends the calling fiber until a message is available. *)
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int

@@ -1,0 +1,29 @@
+type t = {
+  engine : Engine.t;
+  mutable locked : bool;
+  waiters : Engine.resume Queue.t;
+}
+
+let create engine = { engine; locked = false; waiters = Queue.create () }
+
+let locked t = t.locked
+
+let unlock t =
+  if not t.locked then invalid_arg "Mutex.unlock: not locked";
+  match Queue.take_opt t.waiters with
+  | Some r -> Engine.schedule t.engine r.resume
+  | None -> t.locked <- false
+
+(* A resumed waiter owns the lock; if cancellation strikes at the
+   suspension point the ownership must be passed on, not leaked. *)
+let lock t =
+  if not t.locked then t.locked <- true
+  else
+    try Engine.suspend t.engine (fun r -> Queue.push r t.waiters)
+    with e ->
+      unlock t;
+      raise e
+
+let with_lock t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f

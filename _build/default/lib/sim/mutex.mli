@@ -1,0 +1,11 @@
+(** FIFO mutual exclusion between fibers. *)
+
+type t
+
+val create : Engine.t -> t
+val lock : t -> unit
+val unlock : t -> unit
+val locked : t -> bool
+
+val with_lock : t -> (unit -> 'a) -> 'a
+(** Releases on exception. *)

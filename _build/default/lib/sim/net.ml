@@ -1,0 +1,42 @@
+type profile = {
+  name : string;
+  base_latency_ns : int;
+  per_byte_ns : float;
+  jitter : float;
+}
+
+(* 40 Gbit QDR InfiniBand with RDMA verbs: ~2.5 us one-way including NIC
+   processing, kernel bypass.  ~5 GB/s of usable bandwidth. *)
+let infiniband = { name = "infiniband"; base_latency_ns = 2_500; per_byte_ns = 0.25; jitter = 0.05 }
+
+(* 10 Gbit Ethernet through the OS stack: tens of microseconds one-way. *)
+let ethernet_10g =
+  { name = "ethernet-10g"; base_latency_ns = 32_000; per_byte_ns = 0.9; jitter = 0.10 }
+
+let profile_of_string = function
+  | "infiniband" | "ib" -> Some infiniband
+  | "ethernet-10g" | "ethernet" | "eth" -> Some ethernet_10g
+  | _ -> None
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  profile : profile;
+  mutable bytes_sent : int;
+}
+
+let create engine rng profile = { engine; rng; profile; bytes_sent = 0 }
+let profile t = t.profile
+
+let delay t ~bytes =
+  let p = t.profile in
+  let nominal = float_of_int p.base_latency_ns +. (p.per_byte_ns *. float_of_int bytes) in
+  let sampled = Rng.gaussian t.rng ~mean:nominal ~stddev:(nominal *. p.jitter) in
+  int_of_float (Float.max sampled (0.5 *. nominal))
+
+let transfer t ~bytes =
+  t.bytes_sent <- t.bytes_sent + bytes;
+  Engine.sleep t.engine (delay t ~bytes)
+
+let bytes_sent t = t.bytes_sent
+let reset_counters t = t.bytes_sent <- 0

@@ -1,0 +1,34 @@
+(** Parametric network model.
+
+    A message transfer costs a base one-way latency plus a per-byte
+    serialisation cost, with light multiplicative jitter.  Two presets
+    mirror the paper's test bed: 40 Gbit QDR InfiniBand with RDMA
+    (microsecond latencies, kernel bypass) and 10 Gbit Ethernet (tens of
+    microseconds through the OS networking stack).  Cumulative per-link
+    byte counters support the bandwidth-saturation discussion of §6.6. *)
+
+type profile = {
+  name : string;
+  base_latency_ns : int;  (** one-way propagation + stack traversal *)
+  per_byte_ns : float;  (** inverse bandwidth *)
+  jitter : float;  (** relative stddev of the latency, e.g. 0.05 *)
+}
+
+val infiniband : profile
+val ethernet_10g : profile
+val profile_of_string : string -> profile option
+
+type t
+
+val create : Engine.t -> Rng.t -> profile -> t
+val profile : t -> profile
+
+val delay : t -> bytes:int -> int
+(** Sample the one-way delay for a message of [bytes] payload bytes. *)
+
+val transfer : t -> bytes:int -> unit
+(** Suspend the calling fiber for one sampled one-way delay and account
+    the bytes. *)
+
+val bytes_sent : t -> int
+val reset_counters : t -> unit

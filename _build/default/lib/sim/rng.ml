@@ -1,0 +1,44 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x7e11; seed lxor 0x5eed |]
+
+let split t =
+  let seed = Random.State.bits t in
+  Random.State.make [| seed; Random.State.bits t |]
+
+let int t bound = Random.State.int t bound
+let int_incl t lo hi =
+  if hi < lo then invalid_arg "Rng.int_incl: empty range";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t bound = Random.State.float t bound
+let bool t = Random.State.bool t
+
+(* Box-Muller; one value per call keeps the stream simple and deterministic. *)
+let gaussian t ~mean ~stddev =
+  let u1 = 1.0 -. Random.State.float t 1.0 in
+  let u2 = Random.State.float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~mean =
+  let u = 1.0 -. Random.State.float t 1.0 in
+  -.mean *. log u
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(Random.State.int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let alpha_string t ~min_len ~max_len =
+  let len = int_incl t min_len max_len in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + Random.State.int t 26))
+
+let numeric_string t ~len =
+  String.init len (fun _ -> Char.chr (Char.code '0' + Random.State.int t 10))

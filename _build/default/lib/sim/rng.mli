@@ -1,0 +1,30 @@
+(** Deterministic random-number generation for simulations.
+
+    Thin wrapper over [Random.State] with the distributions simulations
+    need.  Every component derives its own stream with {!split} so that
+    adding a component does not perturb the draws of the others. *)
+
+type t
+
+val make : int -> t
+val split : t -> t
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). *)
+
+val int_incl : t -> int -> int -> int
+(** [int_incl t lo hi] is uniform in [lo, hi], inclusive. *)
+
+val float : t -> float -> float
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> stddev:float -> float
+val exponential : t -> mean:float -> float
+
+val pick : t -> 'a array -> 'a
+val shuffle : t -> 'a array -> unit
+
+val alpha_string : t -> min_len:int -> max_len:int -> string
+(** Random string of letters, for synthetic record payloads. *)
+
+val numeric_string : t -> len:int -> string

@@ -1,0 +1,119 @@
+module Counter = struct
+  type t = { name : string; mutable value : int }
+
+  let create name = { name; value = 0 }
+  let incr ?(by = 1) t = t.value <- t.value + by
+  let value t = t.value
+  let reset t = t.value <- 0
+  let name t = t.name
+end
+
+module Moments = struct
+  type t = {
+    mutable count : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.count
+  let mean t = if t.count = 0 then 0.0 else t.mean
+  let stddev t = if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+  let min t = if t.count = 0 then 0.0 else t.min
+  let max t = if t.count = 0 then 0.0 else t.max
+
+  let reset t =
+    t.count <- 0;
+    t.mean <- 0.0;
+    t.m2 <- 0.0;
+    t.min <- infinity;
+    t.max <- neg_infinity
+end
+
+module Histogram = struct
+  (* Log-linear bucketing: values below 32 get exact buckets; above, each
+     power-of-two octave is split into 32 linear sub-buckets, bounding the
+     relative quantisation error at ~3 %. *)
+
+  let sub_bits = 5
+  let sub_buckets = 1 lsl sub_bits
+  let n_buckets = sub_buckets + (58 * sub_buckets)
+
+  type t = { buckets : int array; moments : Moments.t }
+
+  let create () = { buckets = Array.make n_buckets 0; moments = Moments.create () }
+
+  let msb v =
+    let rec loop v acc = if v <= 1 then acc else loop (v lsr 1) (acc + 1) in
+    loop v 0
+
+  let bucket_of_value v =
+    if v < sub_buckets then v
+    else begin
+      let m = msb v in
+      let shift = m - sub_bits in
+      let sub = (v lsr shift) - sub_buckets in
+      sub_buckets + ((m - sub_bits) * sub_buckets) + sub
+    end
+
+  let upper_bound_of_bucket b =
+    if b < sub_buckets then b
+    else begin
+      let octave = (b - sub_buckets) / sub_buckets in
+      let sub = (b - sub_buckets) mod sub_buckets in
+      (((sub + sub_buckets + 1) lsl octave) - 1 : int)
+    end
+
+  let add t v =
+    let v = if v < 0 then 0 else v in
+    t.buckets.(bucket_of_value v) <- t.buckets.(bucket_of_value v) + 1;
+    Moments.add t.moments (float_of_int v)
+
+  let count t = Moments.count t.moments
+
+  let percentile t p =
+    let total = count t in
+    if total = 0 then 0
+    else begin
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int total)) in
+      let rank = if rank < 1 then 1 else if rank > total then total else rank in
+      let rec scan b acc =
+        if b >= n_buckets then upper_bound_of_bucket (n_buckets - 1)
+        else begin
+          let acc = acc + t.buckets.(b) in
+          if acc >= rank then upper_bound_of_bucket b else scan (b + 1) acc
+        end
+      in
+      scan 0 0
+    end
+
+  let mean t = Moments.mean t.moments
+  let stddev t = Moments.stddev t.moments
+
+  let merge_into ~src ~dst =
+    Array.iteri
+      (fun b n ->
+        if n > 0 then begin
+          dst.buckets.(b) <- dst.buckets.(b) + n;
+          let v = float_of_int (upper_bound_of_bucket b) in
+          for _ = 1 to n do
+            Moments.add dst.moments v
+          done
+        end)
+      src.buckets
+
+  let reset t =
+    Array.fill t.buckets 0 n_buckets 0;
+    Moments.reset t.moments
+end

@@ -1,0 +1,47 @@
+(** Measurement utilities: counters, running moments, latency histograms. *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+module Moments : sig
+  (** Streaming mean / standard deviation (Welford). *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  (** Log-linear histogram (HDR-style): values are bucketed with bounded
+      relative error (~3 %), supporting percentile queries over latency
+      distributions without storing samples. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val count : t -> int
+
+  val percentile : t -> float -> int
+  (** [percentile t 99.0] is an upper bound of the 99th percentile value;
+      0 when empty. *)
+
+  val mean : t -> float
+  val stddev : t -> float
+  val merge_into : src:t -> dst:t -> unit
+  val reset : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/tpcc/consistency.ml: Array Codec Database Float List Printf Spec Tell_core Txn Value

@@ -1,0 +1,1 @@
+lib/tpcc/driver.ml: Engine_intf Fmt Hashtbl Option Spec Tell_sim

@@ -1,0 +1,1 @@
+lib/tpcc/engine_intf.ml: Spec

@@ -1,0 +1,1 @@
+lib/tpcc/loader.ml: Btree Codec Hashtbl Keys List Option Population Record Schema Spec Tell_core Tell_kv Tell_schema

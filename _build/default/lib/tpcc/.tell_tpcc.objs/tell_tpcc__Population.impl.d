@@ -1,0 +1,1 @@
+lib/tpcc/population.ml: Array Spec Tell_core Tell_sim Value

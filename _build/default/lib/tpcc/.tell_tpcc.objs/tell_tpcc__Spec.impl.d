@@ -1,0 +1,1 @@
+lib/tpcc/spec.ml: Array List Tell_sim

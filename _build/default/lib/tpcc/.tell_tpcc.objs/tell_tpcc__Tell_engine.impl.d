@@ -1,0 +1,1 @@
+lib/tpcc/tell_engine.ml: Array Btree Codec Database Engine_intf Int List Pn Printf Spec String Tell_core Tell_sim Txn Value

@@ -1,0 +1,1 @@
+lib/tpcc/tell_schema.ml: Schema Tell_core Value

@@ -1,0 +1,91 @@
+(* TPC-C consistency conditions (clause 3.3.2), checked on a quiesced
+   database through an ordinary read-only transaction — the integration
+   oracle for concurrent benchmark runs. *)
+
+open Tell_core
+
+let f = Value.as_float
+let i = Value.as_int
+
+let prefix_range txn ~index prefix =
+  let lo = Codec.encode_key prefix in
+  Txn.index_range txn ~index ~lo ~hi:(Codec.encode_key_successor prefix)
+
+let read_by_pk txn ~table key =
+  match Txn.index_lookup txn ~index:("pk_" ^ table) ~key:(Codec.encode_key key) with
+  | rid :: _ -> Txn.read txn ~table ~rid
+  | [] -> None
+
+(* Consistency 1: W_YTD = sum(D_YTD) per warehouse. *)
+let check_ytd txn ~(scale : Spec.scale) ~w_id =
+  match read_by_pk txn ~table:"warehouse" [ Value.Int w_id ] with
+  | None -> [ Printf.sprintf "warehouse %d missing" w_id ]
+  | Some warehouse ->
+      let w_ytd = f warehouse.(7) in
+      let d_sum = ref 0.0 in
+      for d_id = 1 to scale.districts_per_wh do
+        match read_by_pk txn ~table:"district" [ Value.Int w_id; Value.Int d_id ] with
+        | Some district -> d_sum := !d_sum +. f district.(8)
+        | None -> ()
+      done;
+      if Float.abs (w_ytd -. !d_sum) > 0.01 then
+        [ Printf.sprintf "W_YTD mismatch for warehouse %d: %.2f vs sum(D_YTD)=%.2f" w_id w_ytd !d_sum ]
+      else []
+
+(* Consistency 2/3: D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID) per district. *)
+let check_order_ids txn ~w_id ~d_id =
+  match read_by_pk txn ~table:"district" [ Value.Int w_id; Value.Int d_id ] with
+  | None -> [ Printf.sprintf "district %d/%d missing" w_id d_id ]
+  | Some district ->
+      let next_o = i district.(9) in
+      let orders = prefix_range txn ~index:"pk_orders" [ Value.Int w_id; Value.Int d_id ] in
+      let max_o =
+        List.fold_left
+          (fun acc (_, rid) ->
+            match Txn.read txn ~table:"orders" ~rid with
+            | Some order -> max acc (i order.(2))
+            | None -> acc)
+          0 orders
+      in
+      if max_o <> next_o - 1 then
+        [ Printf.sprintf "district %d/%d: D_NEXT_O_ID-1=%d but max(O_ID)=%d" w_id d_id (next_o - 1) max_o ]
+      else []
+
+(* Consistency 4: for every order, O_OL_CNT = count of its order lines. *)
+let check_order_lines txn ~w_id ~d_id ~sample =
+  let orders = prefix_range txn ~index:"pk_orders" [ Value.Int w_id; Value.Int d_id ] in
+  let violations = ref [] in
+  List.iteri
+    (fun idx (_, rid) ->
+      if idx mod sample = 0 then begin
+        match Txn.read txn ~table:"orders" ~rid with
+        | None -> ()
+        | Some order ->
+            let o_id = i order.(2) in
+            let lines =
+              prefix_range txn ~index:"pk_orderline"
+                [ Value.Int w_id; Value.Int d_id; Value.Int o_id ]
+            in
+            let live =
+              List.length (Txn.read_batch txn ~table:"orderline" ~rids:(List.map snd lines))
+            in
+            if live <> i order.(6) then
+              violations :=
+                Printf.sprintf "order %d/%d/%d: O_OL_CNT=%d but %d lines" w_id d_id o_id
+                  (i order.(6)) live
+                :: !violations
+      end)
+    orders;
+  !violations
+
+let check_all pn ~(scale : Spec.scale) =
+  Database.with_txn pn (fun txn ->
+      let violations = ref [] in
+      for w_id = 1 to scale.warehouses do
+        violations := check_ytd txn ~scale ~w_id @ !violations;
+        for d_id = 1 to scale.districts_per_wh do
+          violations := check_order_ids txn ~w_id ~d_id @ !violations;
+          violations := check_order_lines txn ~w_id ~d_id ~sample:37 @ !violations
+        done
+      done;
+      !violations)

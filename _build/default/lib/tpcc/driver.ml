@@ -1,0 +1,107 @@
+(* Closed-loop TPC-C driver (§6.2): terminals issue transactions without
+   think time; throughput is measured over a virtual-time window after a
+   warm-up period.  The TpmC metric counts committed new-order
+   transactions per minute; failed transactions are not included. *)
+
+module Sim = Tell_sim
+
+type report = {
+  mix : Spec.mix;
+  terminals : int;
+  measured_ns : int;
+  committed : int;
+  aborted : int;
+  user_aborts : int;
+  new_order_commits : int;
+  latency_all : Sim.Stats.Histogram.t;  (* ns, all committed transactions *)
+  latency_new_order : Sim.Stats.Histogram.t;
+  per_type_committed : (string * int) list;
+}
+
+let tpmc r = float_of_int r.new_order_commits /. (float_of_int r.measured_ns /. 60e9)
+let tps r = float_of_int r.committed /. (float_of_int r.measured_ns /. 1e9)
+
+let abort_rate r =
+  let attempts = r.committed + r.aborted in
+  if attempts = 0 then 0.0 else 100.0 *. float_of_int r.aborted /. float_of_int attempts
+
+let mean_latency_ms r = Sim.Stats.Histogram.mean r.latency_all /. 1e6
+let stddev_latency_ms r = Sim.Stats.Histogram.stddev r.latency_all /. 1e6
+let percentile_latency_ms r p = float_of_int (Sim.Stats.Histogram.percentile r.latency_all p) /. 1e6
+
+type config = {
+  terminals : int;
+  warmup_ns : int;
+  measure_ns : int;
+  seed : int;
+}
+
+let default_config = { terminals = 32; warmup_ns = 200_000_000; measure_ns = 1_000_000_000; seed = 7 }
+
+let run (type e c) (module E : Engine_intf.ENGINE with type t = e and type conn = c) (db : e)
+    ~(engine : Sim.Engine.t) ~(scale : Spec.scale) ~(mix : Spec.mix) ~(config : config) () =
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let user_aborts = ref 0 in
+  let new_order_commits = ref 0 in
+  let latency_all = Sim.Stats.Histogram.create () in
+  let latency_new_order = Sim.Stats.Histogram.create () in
+  let per_type = Hashtbl.create 8 in
+  let start_measure = ref max_int in
+  let stop_measure = ref max_int in
+  let stopped = ref false in
+  let rng = Sim.Rng.make config.seed in
+  for terminal_id = 0 to config.terminals - 1 do
+    let term_rng = Sim.Rng.split rng in
+    Sim.Engine.spawn engine (fun () ->
+        let conn = E.connect db ~terminal_id in
+        let home_w = (terminal_id mod scale.warehouses) + 1 in
+        while not !stopped do
+          let input = Spec.gen_txn term_rng ~scale ~mix ~home_w in
+          let t0 = Sim.Engine.now engine in
+          let outcome = E.execute conn input in
+          let t1 = Sim.Engine.now engine in
+          if t0 >= !start_measure && t1 <= !stop_measure then begin
+            match outcome with
+            | Engine_intf.Committed ->
+                incr committed;
+                Sim.Stats.Histogram.add latency_all (t1 - t0);
+                let name = Spec.txn_name input in
+                Hashtbl.replace per_type name
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt per_type name));
+                (match input with
+                | Spec.New_order _ ->
+                    incr new_order_commits;
+                    Sim.Stats.Histogram.add latency_new_order (t1 - t0)
+                | _ -> ())
+            | Engine_intf.Aborted _ -> incr aborted
+            | Engine_intf.User_abort -> incr user_aborts
+          end
+        done)
+  done;
+  (* Controller: open the measurement window after warm-up. *)
+  Sim.Engine.spawn engine (fun () ->
+      Sim.Engine.sleep engine config.warmup_ns;
+      start_measure := Sim.Engine.now engine;
+      stop_measure := !start_measure + config.measure_ns;
+      Sim.Engine.sleep engine config.measure_ns;
+      stopped := true);
+  let deadline = Sim.Engine.now engine + config.warmup_ns + config.measure_ns + 50_000_000 in
+  Sim.Engine.run engine ~until:deadline ();
+  {
+    mix;
+    terminals = config.terminals;
+    measured_ns = config.measure_ns;
+    committed = !committed;
+    aborted = !aborted;
+    user_aborts = !user_aborts;
+    new_order_commits = !new_order_commits;
+    latency_all;
+    latency_new_order;
+    per_type_committed = Hashtbl.fold (fun k v acc -> (k, v) :: acc) per_type [];
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-28s terminals=%-4d TpmC=%-10.0f Tps=%-8.0f aborts=%.2f%% lat=%.2f±%.2fms"
+    r.mix.Spec.mix_name r.terminals (tpmc r) (tps r) (abort_rate r) (mean_latency_ms r)
+    (stddev_latency_ms r)

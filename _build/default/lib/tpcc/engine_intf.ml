@@ -1,0 +1,22 @@
+(* The interface every benchmarked engine implements so that the TPC-C
+   driver can run against Tell and against the partitioned / shared-data
+   baselines uniformly. *)
+
+type outcome =
+  | Committed
+  | Aborted of string  (* concurrency-control abort: counted in the abort rate *)
+  | User_abort  (* the specified 1 % new-order rollback: neither committed nor failed *)
+
+module type ENGINE = sig
+  type t
+  type conn
+
+  val name : t -> string
+
+  val connect : t -> terminal_id:int -> conn
+  (** Bind a terminal to a session (a processing node, a cluster client,
+      ...).  Terminals are distributed round-robin. *)
+
+  val execute : conn -> Spec.txn_input -> outcome
+  (** Run one transaction to completion (commit or abort) from a fiber. *)
+end

@@ -1,0 +1,82 @@
+(* Tell-side bulk loader: maps the engine-agnostic population rows of
+   [Population] to rid-keyed version-0 records, bulk-built B+tree indexes,
+   schemas, and counters, installed directly in the storage nodes (zero
+   virtual time).  Version 0 is below every transaction id, hence visible
+   to every snapshot. *)
+
+module Kv = Tell_kv
+open Tell_core
+
+type state = {
+  cluster : Kv.Cluster.t;
+  rids : (string, int) Hashtbl.t;
+  index_entries : (string, (string * int) list ref) Hashtbl.t;
+  schemas : (string, Schema.table) Hashtbl.t;
+  mutable records_loaded : int;
+}
+
+let encode_record tuple =
+  Record.encode (Record.of_versions [ { Record.version = 0; payload = Record.Tuple tuple } ])
+
+let add_row state ~table tuple =
+  let schema =
+    match Hashtbl.find_opt state.schemas table with
+    | Some s -> s
+    | None -> raise (Schema.Schema_error ("loader: unknown table " ^ table))
+  in
+  let rid = 1 + Option.value ~default:0 (Hashtbl.find_opt state.rids table) in
+  Hashtbl.replace state.rids table rid;
+  Kv.Cluster.poke state.cluster ~key:(Keys.record ~table ~rid) ~data:(encode_record tuple);
+  List.iter
+    (fun (idx : Schema.index) ->
+      let key = Codec.encode_key (Schema.key_of_tuple ~columns:idx.idx_columns tuple) in
+      let bucket =
+        match Hashtbl.find_opt state.index_entries idx.idx_name with
+        | Some bucket -> bucket
+        | None ->
+            let bucket = ref [] in
+            Hashtbl.replace state.index_entries idx.idx_name bucket;
+            bucket
+      in
+      bucket := (key, rid) :: !bucket)
+    (Schema.all_indexes schema);
+  state.records_loaded <- state.records_loaded + 1
+
+let finalize state =
+  List.iter
+    (fun (schema : Schema.table) ->
+      Kv.Cluster.poke state.cluster
+        ~key:(Keys.schema ~table:schema.tbl_name)
+        ~data:(Schema.encode_table schema);
+      Kv.Cluster.poke_counter state.cluster
+        ~key:(Keys.rid_counter ~table:schema.tbl_name)
+        ~value:(Option.value ~default:0 (Hashtbl.find_opt state.rids schema.tbl_name));
+      List.iter
+        (fun (idx : Schema.index) ->
+          let entries =
+            match Hashtbl.find_opt state.index_entries idx.idx_name with
+            | Some bucket -> !bucket
+            | None -> []
+          in
+          List.iter
+            (fun (key, data) -> Kv.Cluster.poke state.cluster ~key ~data)
+            (Btree.bulk_cells ~name:idx.idx_name ~entries))
+        (Schema.all_indexes schema))
+    Tell_schema.all_tables
+
+let load cluster ~(scale : Spec.scale) ~seed =
+  let state =
+    {
+      cluster;
+      rids = Hashtbl.create 16;
+      index_entries = Hashtbl.create 16;
+      schemas = Hashtbl.create 16;
+      records_loaded = 0;
+    }
+  in
+  List.iter
+    (fun (schema : Schema.table) -> Hashtbl.replace state.schemas schema.tbl_name schema)
+    Tell_schema.all_tables;
+  Population.generate ~scale ~seed ~emit:(fun ~table ~key:_ tuple -> add_row state ~table tuple);
+  finalize state;
+  state.records_loaded

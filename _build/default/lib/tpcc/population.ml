@@ -1,0 +1,134 @@
+(* TPC-C population rows, engine-agnostic: every row is emitted as
+   (table, logical integer key, tuple).  Tell's loader maps rows to rids
+   and B+tree entries; the partitioned baselines map them to per-partition
+   hash tables.  Column layouts follow [Tell_schema]. *)
+
+module Rng = Tell_sim.Rng
+open Tell_core
+
+type emit = table:string -> key:int list -> Value.t array -> unit
+
+let v_int i = Value.Int i
+let v_f f = Value.Float f
+let v_s s = Value.Str s
+
+let filler rng lo hi = Rng.alpha_string rng ~min_len:lo ~max_len:hi
+
+let items rng ~(scale : Spec.scale) ~(emit : emit) =
+  for i_id = 1 to scale.items do
+    emit ~table:"item" ~key:[ i_id ]
+      [|
+        v_int i_id;
+        v_int (Rng.int_incl rng 1 10_000);
+        v_s (filler rng 6 14);
+        v_f (1.0 +. Rng.float rng 99.0);
+        v_s (filler rng 10 20);
+      |]
+  done
+
+let warehouse rng ~(scale : Spec.scale) ~w_id ~(emit : emit) =
+  emit ~table:"warehouse" ~key:[ w_id ]
+    [|
+      v_int w_id;
+      v_s (filler rng 6 10);
+      v_s (filler rng 8 12);
+      v_s (filler rng 6 10);
+      v_s (filler rng 2 2);
+      v_s (Rng.numeric_string rng ~len:9);
+      v_f (Rng.float rng 0.2);
+      (* W_YTD = sum of its districts' D_YTD (consistency condition 1),
+         also under a scaled-down district count. *)
+      v_f (30_000.0 *. float_of_int scale.districts_per_wh);
+    |];
+  for s_i_id = 1 to scale.stock_per_wh do
+    emit ~table:"stock" ~key:[ w_id; s_i_id ]
+      [|
+        v_int w_id;
+        v_int s_i_id;
+        v_int (Rng.int_incl rng 10 100);
+        v_s (filler rng 12 16);
+        v_f 0.0;
+        v_int 0;
+        v_int 0;
+        v_s (filler rng 12 24);
+      |]
+  done
+
+let customers rng ~(scale : Spec.scale) ~w_id ~d_id ~(emit : emit) =
+  for c_id = 1 to scale.customers_per_district do
+    let last =
+      if c_id <= 1000 then Spec.last_name (c_id - 1)
+      else Spec.last_name (Spec.nurand rng ~a:255 ~c:Spec.c_for_c_last ~x:0 ~y:999)
+    in
+    let credit = if Rng.int rng 10 = 0 then "BC" else "GC" in
+    emit ~table:"customer" ~key:[ w_id; d_id; c_id ]
+      [|
+        v_int w_id; v_int d_id; v_int c_id;
+        v_s (filler rng 6 10); v_s "OE"; v_s last;
+        v_s (filler rng 8 12); v_s (filler rng 6 10); v_s (filler rng 2 2);
+        v_s (Rng.numeric_string rng ~len:9);
+        v_s (Rng.numeric_string rng ~len:12);
+        v_int 0; v_s credit; v_f 50_000.0;
+        v_f (Rng.float rng 0.5);
+        v_f (-10.0); v_f 10.0; v_int 1; v_int 0;
+        v_s (filler rng 30 60);
+      |];
+    emit ~table:"history" ~key:[ w_id; d_id; c_id; 0 ]
+      [|
+        v_int c_id; v_int d_id; v_int w_id; v_int d_id; v_int w_id;
+        v_int 0; v_f 10.0; v_s (filler rng 8 16);
+      |]
+  done
+
+let orders rng ~(scale : Spec.scale) ~w_id ~d_id ~(emit : emit) =
+  let customer_perm = Array.init scale.customers_per_district (fun i -> i + 1) in
+  Rng.shuffle rng customer_perm;
+  let n_orders = scale.initial_orders_per_district in
+  for o_id = 1 to n_orders do
+    let c_id = customer_perm.((o_id - 1) mod Array.length customer_perm) in
+    let ol_cnt = Rng.int_incl rng 5 15 in
+    let delivered = o_id <= n_orders * 7 / 10 in
+    emit ~table:"orders" ~key:[ w_id; d_id; o_id ]
+      [|
+        v_int w_id; v_int d_id; v_int o_id; v_int c_id; v_int 0;
+        v_int (if delivered then Rng.int_incl rng 1 10 else 0);
+        v_int ol_cnt; v_int 1;
+      |];
+    if not delivered then
+      emit ~table:"neworder" ~key:[ w_id; d_id; o_id ] [| v_int w_id; v_int d_id; v_int o_id |];
+    for ol_number = 1 to ol_cnt do
+      emit ~table:"orderline" ~key:[ w_id; d_id; o_id; ol_number ]
+        [|
+          v_int w_id; v_int d_id; v_int o_id; v_int ol_number;
+          v_int (Rng.int_incl rng 1 scale.items);
+          v_int w_id;
+          v_int (if delivered then 1 else 0);
+          v_int 5;
+          v_f (if delivered then 0.0 else Rng.float rng 9_999.0);
+          v_s (filler rng 12 16);
+        |]
+    done
+  done
+
+let district rng ~(scale : Spec.scale) ~w_id ~d_id ~(emit : emit) =
+  emit ~table:"district" ~key:[ w_id; d_id ]
+    [|
+      v_int w_id; v_int d_id;
+      v_s (filler rng 6 10); v_s (filler rng 8 12); v_s (filler rng 6 10);
+      v_s (filler rng 2 2); v_s (Rng.numeric_string rng ~len:9);
+      v_f (Rng.float rng 0.2);
+      v_f 30_000.0;
+      v_int (scale.initial_orders_per_district + 1);
+    |];
+  customers rng ~scale ~w_id ~d_id ~emit;
+  orders rng ~scale ~w_id ~d_id ~emit
+
+let generate ~(scale : Spec.scale) ~seed ~(emit : emit) =
+  let rng = Rng.make seed in
+  items rng ~scale ~emit;
+  for w_id = 1 to scale.warehouses do
+    warehouse rng ~scale ~w_id ~emit;
+    for d_id = 1 to scale.districts_per_wh do
+      district rng ~scale ~w_id ~d_id ~emit
+    done
+  done

@@ -1,0 +1,229 @@
+(* TPC-C workload definition (§6.2): scaling parameters, input
+   generation (NURand, last names), and the three transaction mixes of
+   Table 2 plus the shardable variant of §6.4.
+
+   The [scale] record allows a proportionally shrunk population (fewer
+   items/customers per warehouse) so that simulations stay tractable; the
+   contention structure — one warehouse row, ten district rows per
+   warehouse, the transaction operation counts — is untouched, which is
+   what the paper's scalability shapes depend on. *)
+
+module Rng = Tell_sim.Rng
+
+type scale = {
+  warehouses : int;
+  districts_per_wh : int;
+  customers_per_district : int;
+  items : int;
+  stock_per_wh : int;  (* = items in the full spec *)
+  initial_orders_per_district : int;
+}
+
+let full_scale ~warehouses =
+  {
+    warehouses;
+    districts_per_wh = 10;
+    customers_per_district = 3000;
+    items = 100_000;
+    stock_per_wh = 100_000;
+    initial_orders_per_district = 3000;
+  }
+
+(* The default for simulations: 1/20th population per warehouse. *)
+let sim_scale ~warehouses =
+  {
+    warehouses;
+    districts_per_wh = 10;
+    customers_per_district = 150;
+    items = 5_000;
+    stock_per_wh = 5_000;
+    initial_orders_per_district = 150;
+  }
+
+(* --- random input helpers (TPC-C clause 2.1.6) -------------------------------- *)
+
+let c_for_c_last = 157
+let c_for_c_id = 233
+let c_for_ol_i_id = 511
+
+let nurand rng ~a ~c ~x ~y =
+  (((Rng.int_incl rng 0 a lor Rng.int_incl rng x y) + c) mod (y - x + 1)) + x
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n =
+  let n = n mod 1000 in
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+let random_last_name rng ~scale =
+  (* Adapt the NURand range to the scaled customer count so generated
+     names actually exist in the population. *)
+  let range = min 999 (scale.customers_per_district - 1) in
+  last_name (nurand rng ~a:255 ~c:c_for_c_last ~x:0 ~y:range)
+
+let random_c_id rng ~scale = nurand rng ~a:1023 ~c:c_for_c_id ~x:1 ~y:scale.customers_per_district
+
+let random_i_id rng ~scale = nurand rng ~a:8191 ~c:c_for_ol_i_id ~x:1 ~y:scale.items
+
+(* --- transaction inputs --------------------------------------------------------- *)
+
+type customer_selector = By_id of int | By_last_name of string
+
+type new_order_input = {
+  no_w_id : int;
+  no_d_id : int;
+  no_c_id : int;
+  items : (int * int * int) list;  (* (i_id, supply_w_id, quantity) *)
+  invalid_item : bool;  (* clause 2.4.1.5: 1 % of new-orders roll back *)
+}
+
+type payment_input = {
+  p_w_id : int;
+  p_d_id : int;
+  p_c_w_id : int;
+  p_c_d_id : int;
+  p_customer : customer_selector;
+  p_amount : float;
+}
+
+type order_status_input = { os_w_id : int; os_d_id : int; os_customer : customer_selector }
+
+type delivery_input = { dl_w_id : int; dl_carrier_id : int }
+
+type stock_level_input = { sl_w_id : int; sl_d_id : int; sl_threshold : int }
+
+type txn_input =
+  | New_order of new_order_input
+  | Payment of payment_input
+  | Order_status of order_status_input
+  | Delivery of delivery_input
+  | Stock_level of stock_level_input
+
+let txn_name = function
+  | New_order _ -> "new-order"
+  | Payment _ -> "payment"
+  | Order_status _ -> "order-status"
+  | Delivery _ -> "delivery"
+  | Stock_level _ -> "stock-level"
+
+(* --- mixes (Table 2) ------------------------------------------------------------- *)
+
+type mix = {
+  mix_name : string;
+  pct_new_order : int;
+  pct_payment : int;
+  pct_delivery : int;
+  pct_order_status : int;
+  pct_stock_level : int;
+  allow_remote : bool;  (* false = the "shardable" variant of §6.4 *)
+}
+
+let standard_mix =
+  {
+    mix_name = "write-intensive (standard)";
+    pct_new_order = 45;
+    pct_payment = 43;
+    pct_delivery = 4;
+    pct_order_status = 4;
+    pct_stock_level = 4;
+    allow_remote = true;
+  }
+
+let read_intensive_mix =
+  {
+    mix_name = "read-intensive";
+    pct_new_order = 9;
+    pct_payment = 0;
+    pct_delivery = 0;
+    pct_order_status = 84;
+    pct_stock_level = 7;
+    allow_remote = true;
+  }
+
+let shardable_mix = { standard_mix with mix_name = "shardable"; allow_remote = false }
+
+(* --- input generation -------------------------------------------------------------- *)
+
+let other_warehouse rng ~scale ~home =
+  if scale.warehouses = 1 then home
+  else begin
+    let rec draw () =
+      let w = Rng.int_incl rng 1 scale.warehouses in
+      if w = home then draw () else w
+    in
+    draw ()
+  end
+
+let gen_new_order rng ~scale ~mix ~home_w =
+  let d_id = Rng.int_incl rng 1 scale.districts_per_wh in
+  let c_id = random_c_id rng ~scale in
+  let n_items = Rng.int_incl rng 5 15 in
+  let items =
+    List.init n_items (fun _ ->
+        let i_id = random_i_id rng ~scale in
+        let supply_w =
+          (* Clause 2.4.1.5(2): 1 % of lines come from a remote WH. *)
+          if mix.allow_remote && scale.warehouses > 1 && Rng.int rng 100 = 0 then
+            other_warehouse rng ~scale ~home:home_w
+          else home_w
+        in
+        (i_id, supply_w, Rng.int_incl rng 1 10))
+  in
+  New_order
+    {
+      no_w_id = home_w;
+      no_d_id = d_id;
+      no_c_id = c_id;
+      items;
+      invalid_item = Rng.int rng 100 = 0;
+    }
+
+let gen_customer_selector rng ~scale =
+  if Rng.int rng 100 < 60 then By_last_name (random_last_name rng ~scale)
+  else By_id (random_c_id rng ~scale)
+
+let gen_payment rng ~scale ~mix ~home_w =
+  let d_id = Rng.int_incl rng 1 scale.districts_per_wh in
+  (* Clause 2.5.1.2: 15 % of payments are for a remote customer. *)
+  let c_w_id, c_d_id =
+    if mix.allow_remote && scale.warehouses > 1 && Rng.int rng 100 < 15 then
+      (other_warehouse rng ~scale ~home:home_w, Rng.int_incl rng 1 scale.districts_per_wh)
+    else (home_w, d_id)
+  in
+  Payment
+    {
+      p_w_id = home_w;
+      p_d_id = d_id;
+      p_c_w_id = c_w_id;
+      p_c_d_id = c_d_id;
+      p_customer = gen_customer_selector rng ~scale;
+      p_amount = 1.0 +. Rng.float rng 4999.0;
+    }
+
+let gen_order_status rng ~scale ~home_w =
+  Order_status
+    {
+      os_w_id = home_w;
+      os_d_id = Rng.int_incl rng 1 scale.districts_per_wh;
+      os_customer = gen_customer_selector rng ~scale;
+    }
+
+let gen_delivery rng ~home_w = Delivery { dl_w_id = home_w; dl_carrier_id = Rng.int_incl rng 1 10 }
+
+let gen_stock_level rng ~scale ~home_w =
+  Stock_level
+    {
+      sl_w_id = home_w;
+      sl_d_id = Rng.int_incl rng 1 scale.districts_per_wh;
+      sl_threshold = Rng.int_incl rng 10 20;
+    }
+
+let gen_txn rng ~scale ~mix ~home_w =
+  let p = Rng.int rng 100 in
+  if p < mix.pct_new_order then gen_new_order rng ~scale ~mix ~home_w
+  else if p < mix.pct_new_order + mix.pct_payment then gen_payment rng ~scale ~mix ~home_w
+  else if p < mix.pct_new_order + mix.pct_payment + mix.pct_delivery then gen_delivery rng ~home_w
+  else if p < mix.pct_new_order + mix.pct_payment + mix.pct_delivery + mix.pct_order_status then
+    gen_order_status rng ~scale ~home_w
+  else gen_stock_level rng ~scale ~home_w

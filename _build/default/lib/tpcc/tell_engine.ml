@@ -1,0 +1,325 @@
+(* The five TPC-C transactions against Tell's transaction API.
+
+   Record accesses go through the primary-key / secondary B+trees exactly
+   as the paper describes (Figure 4): index lookup yields a rid, the rid
+   read yields the record with all its versions.  Like the paper's PNs,
+   transaction programs are precompiled code, not SQL text (the SQL layer
+   exists and is exercised by examples and tests). *)
+
+module Sim = Tell_sim
+open Tell_core
+
+type t = {
+  db : Database.t;
+  pns : Pn.t array;
+  scale : Spec.scale;
+}
+
+type conn = { engine : t; pn : Pn.t }
+
+let create db ~pns ~scale = { db; pns = Array.of_list pns; scale }
+
+let name _ = "tell"
+
+let connect t ~terminal_id = { engine = t; pn = t.pns.(terminal_id mod Array.length t.pns) }
+
+let now_ts conn = Sim.Engine.now (Pn.engine conn.pn)
+
+(* --- small helpers -------------------------------------------------------------- *)
+
+exception Row_missing of string
+
+let pk index_table = "pk_" ^ index_table
+
+let find_rid txn ~table key =
+  match Txn.index_lookup txn ~index:(pk table) ~key:(Codec.encode_key key) with
+  | [ rid ] -> rid
+  | [] -> raise (Row_missing table)
+  | rid :: _ -> rid
+
+let read_by_pk txn ~table key =
+  let rid = find_rid txn ~table key in
+  match Txn.read txn ~table ~rid with
+  | Some tuple -> (rid, tuple)
+  | None -> raise (Row_missing table)
+
+let prefix_range txn ~index prefix =
+  let lo = Codec.encode_key prefix in
+  Txn.index_range txn ~index ~lo ~hi:(Codec.encode_key_successor prefix)
+
+let f = Value.as_float
+let i = Value.as_int
+let s = Value.as_string
+
+(* Clause 2.5.2.2: select by last name takes the ceiling-middle customer
+   ordered by first name. *)
+let customer_by_selector txn ~scale:_ ~w_id ~d_id selector =
+  match selector with
+  | Spec.By_id c_id ->
+      read_by_pk txn ~table:"customer" [ Value.Int w_id; Value.Int d_id; Value.Int c_id ]
+  | Spec.By_last_name last -> (
+      let entries =
+        prefix_range txn ~index:"idx_customer_name"
+          [ Value.Int w_id; Value.Int d_id; Value.Str last ]
+      in
+      let rids = List.map snd entries in
+      let rows = Txn.read_batch txn ~table:"customer" ~rids in
+      let rows =
+        List.sort (fun (_, a) (_, b) -> String.compare (s a.(3)) (s b.(3))) rows
+      in
+      let n = List.length rows in
+      if n = 0 then raise (Row_missing "customer-by-name")
+      else
+        match List.nth_opt rows ((n - 1) / 2) with
+        | Some row -> row
+        | None -> raise (Row_missing "customer-by-name"))
+
+(* --- NEW-ORDER (clause 2.4) ------------------------------------------------------- *)
+
+let new_order conn txn (input : Spec.new_order_input) =
+  let w_id = input.no_w_id and d_id = input.no_d_id in
+  let _, warehouse = read_by_pk txn ~table:"warehouse" [ Value.Int w_id ] in
+  let w_tax = f warehouse.(6) in
+  let d_rid, district = read_by_pk txn ~table:"district" [ Value.Int w_id; Value.Int d_id ] in
+  let d_tax = f district.(7) in
+  let o_id = i district.(9) in
+  let district' = Array.copy district in
+  district'.(9) <- Value.Int (o_id + 1);
+  Txn.update txn ~table:"district" ~rid:d_rid district';
+  let _, customer =
+    read_by_pk txn ~table:"customer" [ Value.Int w_id; Value.Int d_id; Value.Int input.no_c_id ]
+  in
+  let c_discount = f customer.(14) in
+  let all_local = List.for_all (fun (_, sw, _) -> sw = w_id) input.items in
+  let ol_cnt = List.length input.items in
+  ignore
+    (Txn.insert txn ~table:"orders"
+       [|
+         Value.Int w_id; Value.Int d_id; Value.Int o_id; Value.Int input.no_c_id;
+         Value.Int (now_ts conn); Value.Int 0; Value.Int ol_cnt;
+         Value.Int (if all_local then 1 else 0);
+       |]);
+  ignore (Txn.insert txn ~table:"neworder" [| Value.Int w_id; Value.Int d_id; Value.Int o_id |]);
+  let total = ref 0.0 in
+  let items =
+    (* An unused item number triggers the specified 1 % rollback. *)
+    if input.invalid_item then
+      match List.rev input.items with
+      | (_, sw, qty) :: rest -> List.rev ((0, sw, qty) :: rest)
+      | [] -> input.items
+    else input.items
+  in
+  let item_missing =
+    List.exists
+      (fun (i_id, supply_w, quantity) ->
+        match
+          if i_id = 0 then None
+          else
+            try Some (read_by_pk txn ~table:"item" [ Value.Int i_id ]) with Row_missing _ -> None
+        with
+        | None -> true
+        | Some (_, item) ->
+            let price = f item.(3) in
+            let s_rid, stock =
+              read_by_pk txn ~table:"stock" [ Value.Int supply_w; Value.Int i_id ]
+            in
+            let s_qty = i stock.(2) in
+            let new_qty = if s_qty >= quantity + 10 then s_qty - quantity else s_qty - quantity + 91 in
+            let stock' = Array.copy stock in
+            stock'.(2) <- Value.Int new_qty;
+            stock'.(4) <- Value.Float (f stock.(4) +. float_of_int quantity);
+            stock'.(5) <- Value.Int (i stock.(5) + 1);
+            if supply_w <> w_id then stock'.(6) <- Value.Int (i stock.(6) + 1);
+            Txn.update txn ~table:"stock" ~rid:s_rid stock';
+            let amount = float_of_int quantity *. price in
+            total := !total +. amount;
+            let ol_number = 1 + List.length (Txn.pending_rows txn ~table:"orderline") in
+            ignore
+              (Txn.insert txn ~table:"orderline"
+                 [|
+                   Value.Int w_id; Value.Int d_id; Value.Int o_id; Value.Int ol_number;
+                   Value.Int i_id; Value.Int supply_w; Value.Int 0; Value.Int quantity;
+                   Value.Float amount; Value.Str (s stock.(3));
+                 |]);
+            false)
+      items
+  in
+  if item_missing then begin
+    Txn.abort txn;
+    Engine_intf.User_abort
+  end
+  else begin
+    ignore (!total *. (1.0 +. w_tax +. d_tax) *. (1.0 -. c_discount));
+    Txn.commit txn;
+    Engine_intf.Committed
+  end
+
+(* --- PAYMENT (clause 2.5) ----------------------------------------------------------- *)
+
+let payment conn txn (input : Spec.payment_input) =
+  let w_rid, warehouse = read_by_pk txn ~table:"warehouse" [ Value.Int input.p_w_id ] in
+  let warehouse' = Array.copy warehouse in
+  warehouse'.(7) <- Value.Float (f warehouse.(7) +. input.p_amount);
+  Txn.update txn ~table:"warehouse" ~rid:w_rid warehouse';
+  let d_rid, district =
+    read_by_pk txn ~table:"district" [ Value.Int input.p_w_id; Value.Int input.p_d_id ]
+  in
+  let district' = Array.copy district in
+  district'.(8) <- Value.Float (f district.(8) +. input.p_amount);
+  Txn.update txn ~table:"district" ~rid:d_rid district';
+  let c_rid, customer =
+    customer_by_selector txn ~scale:conn.engine.scale ~w_id:input.p_c_w_id ~d_id:input.p_c_d_id
+      input.p_customer
+  in
+  let customer' = Array.copy customer in
+  customer'.(15) <- Value.Float (f customer.(15) -. input.p_amount);
+  customer'.(16) <- Value.Float (f customer.(16) +. input.p_amount);
+  customer'.(17) <- Value.Int (i customer.(17) + 1);
+  if s customer.(12) = "BC" then
+    customer'.(19) <-
+      Value.Str
+        (String.sub
+           (Printf.sprintf "%d %d %d %d %.2f|%s" (i customer.(2)) input.p_c_d_id input.p_c_w_id
+              input.p_d_id input.p_amount (s customer.(19)))
+           0
+           (min 60
+              (String.length
+                 (Printf.sprintf "%d %d %d %d %.2f|%s" (i customer.(2)) input.p_c_d_id
+                    input.p_c_w_id input.p_d_id input.p_amount (s customer.(19))))));
+  Txn.update txn ~table:"customer" ~rid:c_rid customer';
+  ignore
+    (Txn.insert txn ~table:"history"
+       [|
+         customer.(2); Value.Int input.p_c_d_id; Value.Int input.p_c_w_id;
+         Value.Int input.p_d_id; Value.Int input.p_w_id; Value.Int (now_ts conn);
+         Value.Float input.p_amount;
+         Value.Str (s warehouse.(1) ^ "    " ^ s district.(2));
+       |]);
+  Txn.commit txn;
+  Engine_intf.Committed
+
+(* --- ORDER-STATUS (clause 2.6) ------------------------------------------------------- *)
+
+let order_status conn txn (input : Spec.order_status_input) =
+  let _, customer =
+    customer_by_selector txn ~scale:conn.engine.scale ~w_id:input.os_w_id ~d_id:input.os_d_id
+      input.os_customer
+  in
+  let c_id = i customer.(2) in
+  (* The customer's most recent order: highest key under the
+     (w, d, c) prefix of the order-customer index. *)
+  let entries =
+    prefix_range txn ~index:"idx_orders_customer"
+      [ Value.Int input.os_w_id; Value.Int input.os_d_id; Value.Int c_id ]
+  in
+  (match List.rev entries with
+  | [] -> ()  (* a scaled-down population may leave a customer orderless *)
+  | (_, o_rid) :: _ -> (
+      match Txn.read txn ~table:"orders" ~rid:o_rid with
+      | None -> ()
+      | Some order ->
+          let o_id = i order.(2) in
+          let lines =
+            prefix_range txn ~index:(pk "orderline")
+              [ Value.Int input.os_w_id; Value.Int input.os_d_id; Value.Int o_id ]
+          in
+          let rows = Txn.read_batch txn ~table:"orderline" ~rids:(List.map snd lines) in
+          List.iter (fun (_, line) -> ignore (i line.(4), i line.(7), f line.(8))) rows));
+  Txn.commit txn;
+  Engine_intf.Committed
+
+(* --- DELIVERY (clause 2.7) ------------------------------------------------------------ *)
+
+let delivery conn txn (input : Spec.delivery_input) =
+  let w_id = input.dl_w_id in
+  for d_id = 1 to conn.engine.scale.districts_per_wh do
+    (* Oldest undelivered order of the district. *)
+    let lo = Codec.encode_key [ Value.Int w_id; Value.Int d_id ] in
+    let hi = Codec.encode_key_successor [ Value.Int w_id; Value.Int d_id ] in
+    match Txn.index_range txn ~index:(pk "neworder") ~lo ~hi with
+    | [] -> ()
+    | (_, no_rid) :: _ -> (
+        match Txn.read txn ~table:"neworder" ~rid:no_rid with
+        | None -> ()
+        | Some no_row ->
+            let o_id = i no_row.(2) in
+            Txn.delete txn ~table:"neworder" ~rid:no_rid;
+            let o_rid, order =
+              read_by_pk txn ~table:"orders" [ Value.Int w_id; Value.Int d_id; Value.Int o_id ]
+            in
+            let order' = Array.copy order in
+            order'.(5) <- Value.Int input.dl_carrier_id;
+            Txn.update txn ~table:"orders" ~rid:o_rid order';
+            let lines =
+              prefix_range txn ~index:(pk "orderline")
+                [ Value.Int w_id; Value.Int d_id; Value.Int o_id ]
+            in
+            let rows = Txn.read_batch txn ~table:"orderline" ~rids:(List.map snd lines) in
+            let total = ref 0.0 in
+            List.iter
+              (fun (rid, line) ->
+                total := !total +. f line.(8);
+                let line' = Array.copy line in
+                line'.(6) <- Value.Int (now_ts conn);
+                Txn.update txn ~table:"orderline" ~rid line')
+              rows;
+            let c_rid, customer =
+              read_by_pk txn ~table:"customer"
+                [ Value.Int w_id; Value.Int d_id; order.(3) ]
+            in
+            let customer' = Array.copy customer in
+            customer'.(15) <- Value.Float (f customer.(15) +. !total);
+            customer'.(18) <- Value.Int (i customer.(18) + 1);
+            Txn.update txn ~table:"customer" ~rid:c_rid customer')
+  done;
+  Txn.commit txn;
+  Engine_intf.Committed
+
+(* --- STOCK-LEVEL (clause 2.8) ---------------------------------------------------------- *)
+
+let stock_level _conn txn (input : Spec.stock_level_input) =
+  let _, district =
+    read_by_pk txn ~table:"district" [ Value.Int input.sl_w_id; Value.Int input.sl_d_id ]
+  in
+  let next_o = i district.(9) in
+  let lo =
+    Codec.encode_key [ Value.Int input.sl_w_id; Value.Int input.sl_d_id; Value.Int (max 1 (next_o - 20)) ]
+  in
+  let hi = Codec.encode_key [ Value.Int input.sl_w_id; Value.Int input.sl_d_id; Value.Int next_o ] in
+  let lines = Txn.index_range txn ~index:(pk "orderline") ~lo ~hi in
+  let rows = Txn.read_batch txn ~table:"orderline" ~rids:(List.map snd lines) in
+  let item_ids = List.sort_uniq Int.compare (List.map (fun (_, line) -> i line.(4)) rows) in
+  (* Batched point lookups: one store round per involved leaf instead of
+     one sequential traversal per item (§5.1 batching). *)
+  let stock_keys =
+    List.map (fun i_id -> Codec.encode_key [ Value.Int input.sl_w_id; Value.Int i_id ]) item_ids
+  in
+  let tree = Pn.btree (Txn.pn txn) ~index:(pk "stock") in
+  let stock_rids = List.concat_map snd (Btree.lookup_many tree ~keys:stock_keys) in
+  let stocks = Txn.read_batch txn ~table:"stock" ~rids:stock_rids in
+  let low = ref 0 in
+  List.iter (fun (_, stock) -> if i stock.(2) < input.sl_threshold then incr low) stocks;
+  Txn.commit txn;
+  Engine_intf.Committed
+
+(* --- dispatch ---------------------------------------------------------------------------- *)
+
+let execute conn input =
+  let txn = Txn.begin_txn conn.pn in
+  let abort_if_running () =
+    if Txn.status txn = Txn.Running then try Txn.abort txn with _ -> ()
+  in
+  try
+    match input with
+    | Spec.New_order no -> new_order conn txn no
+    | Spec.Payment p -> payment conn txn p
+    | Spec.Order_status os -> order_status conn txn os
+    | Spec.Delivery d -> delivery conn txn d
+    | Spec.Stock_level sl -> stock_level conn txn sl
+  with
+  | Txn.Conflict reason ->
+      abort_if_running ();
+      Engine_intf.Aborted reason
+  | Row_missing what ->
+      abort_if_running ();
+      Engine_intf.Aborted ("missing row: " ^ what)

@@ -1,0 +1,98 @@
+(* TPC-C schema for Tell.  Column sets follow the specification; the ten
+   S_DIST_xx fields of STOCK are collapsed into one (the benchmark logic
+   reads exactly one of them per order line), which shrinks the simulated
+   memory footprint without changing access patterns. *)
+
+open Tell_core
+
+let col name ty = { Schema.col_name = name; col_type = ty }
+let int_col name = col name Value.T_int
+let float_col name = col name Value.T_float
+let str_col name = col name Value.T_str
+
+let warehouse =
+  Schema.make_table ~name:"warehouse"
+    ~columns:
+      [
+        int_col "w_id"; str_col "w_name"; str_col "w_street"; str_col "w_city";
+        str_col "w_state"; str_col "w_zip"; float_col "w_tax"; float_col "w_ytd";
+      ]
+    ~primary_key:[ "w_id" ] ~secondary:[]
+
+let district =
+  Schema.make_table ~name:"district"
+    ~columns:
+      [
+        int_col "d_w_id"; int_col "d_id"; str_col "d_name"; str_col "d_street";
+        str_col "d_city"; str_col "d_state"; str_col "d_zip"; float_col "d_tax";
+        float_col "d_ytd"; int_col "d_next_o_id";
+      ]
+    ~primary_key:[ "d_w_id"; "d_id" ] ~secondary:[]
+
+let customer =
+  Schema.make_table ~name:"customer"
+    ~columns:
+      [
+        int_col "c_w_id"; int_col "c_d_id"; int_col "c_id"; str_col "c_first";
+        str_col "c_middle"; str_col "c_last"; str_col "c_street"; str_col "c_city";
+        str_col "c_state"; str_col "c_zip"; str_col "c_phone"; int_col "c_since";
+        str_col "c_credit"; float_col "c_credit_lim"; float_col "c_discount";
+        float_col "c_balance"; float_col "c_ytd_payment"; int_col "c_payment_cnt";
+        int_col "c_delivery_cnt"; str_col "c_data";
+      ]
+    ~primary_key:[ "c_w_id"; "c_d_id"; "c_id" ]
+    ~secondary:[ ("idx_customer_name", [ "c_w_id"; "c_d_id"; "c_last"; "c_first" ], false) ]
+
+let history =
+  Schema.make_table ~name:"history"
+    ~columns:
+      [
+        int_col "h_c_id"; int_col "h_c_d_id"; int_col "h_c_w_id"; int_col "h_d_id";
+        int_col "h_w_id"; int_col "h_date"; float_col "h_amount"; str_col "h_data";
+      ]
+    ~primary_key:[] ~secondary:[]
+
+let neworder =
+  Schema.make_table ~name:"neworder"
+    ~columns:[ int_col "no_w_id"; int_col "no_d_id"; int_col "no_o_id" ]
+    ~primary_key:[ "no_w_id"; "no_d_id"; "no_o_id" ]
+    ~secondary:[]
+
+let orders =
+  Schema.make_table ~name:"orders"
+    ~columns:
+      [
+        int_col "o_w_id"; int_col "o_d_id"; int_col "o_id"; int_col "o_c_id";
+        int_col "o_entry_d"; int_col "o_carrier_id"; int_col "o_ol_cnt"; int_col "o_all_local";
+      ]
+    ~primary_key:[ "o_w_id"; "o_d_id"; "o_id" ]
+    ~secondary:[ ("idx_orders_customer", [ "o_w_id"; "o_d_id"; "o_c_id"; "o_id" ], false) ]
+
+let orderline =
+  Schema.make_table ~name:"orderline"
+    ~columns:
+      [
+        int_col "ol_w_id"; int_col "ol_d_id"; int_col "ol_o_id"; int_col "ol_number";
+        int_col "ol_i_id"; int_col "ol_supply_w_id"; int_col "ol_delivery_d";
+        int_col "ol_quantity"; float_col "ol_amount"; str_col "ol_dist_info";
+      ]
+    ~primary_key:[ "ol_w_id"; "ol_d_id"; "ol_o_id"; "ol_number" ]
+    ~secondary:[]
+
+let item =
+  Schema.make_table ~name:"item"
+    ~columns:
+      [ int_col "i_id"; int_col "i_im_id"; str_col "i_name"; float_col "i_price"; str_col "i_data" ]
+    ~primary_key:[ "i_id" ] ~secondary:[]
+
+let stock =
+  Schema.make_table ~name:"stock"
+    ~columns:
+      [
+        int_col "s_w_id"; int_col "s_i_id"; int_col "s_quantity"; str_col "s_dist";
+        float_col "s_ytd"; int_col "s_order_cnt"; int_col "s_remote_cnt"; str_col "s_data";
+      ]
+    ~primary_key:[ "s_w_id"; "s_i_id" ] ~secondary:[]
+
+let all_tables =
+  [ warehouse; district; customer; history; neworder; orders; orderline; item; stock ]

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Float List Printf Tell_baselines Tell_core Tell_sim Tell_tpcc Value

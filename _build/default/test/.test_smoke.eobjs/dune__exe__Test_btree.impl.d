@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree List Printf Random Set Tell_core Tell_kv Tell_sim

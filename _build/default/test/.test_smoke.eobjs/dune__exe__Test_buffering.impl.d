@@ -1,0 +1,1 @@
+test/test_buffering.ml: Alcotest Buffer_pool Database List Pn Printf Sql_plan Tell_core Tell_kv Tell_sim Tell_tpcc Txn Value

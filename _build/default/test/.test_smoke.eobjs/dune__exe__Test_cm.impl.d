@@ -1,0 +1,1 @@
+test/test_cm.ml: Alcotest Commit_manager Hashtbl List Printf Tell_core Tell_kv Tell_sim Version_set

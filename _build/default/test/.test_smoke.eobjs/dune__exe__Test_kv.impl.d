@@ -1,0 +1,1 @@
+test/test_kv.ml: Alcotest Hashtbl List Option Printf String Tell_kv Tell_sim

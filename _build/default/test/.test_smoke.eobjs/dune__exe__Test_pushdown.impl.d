@@ -1,0 +1,1 @@
+test/test_pushdown.ml: Alcotest Array Buffer Database List Pn Printf Pushdown QCheck QCheck_alcotest Query Tell_core Tell_kv Tell_sim Txn Value

@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Array List Printf Query Tell_core Value

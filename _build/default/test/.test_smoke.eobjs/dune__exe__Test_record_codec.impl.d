@@ -1,0 +1,1 @@
+test/test_record_codec.ml: Alcotest Array Codec Float Int List Printf QCheck QCheck_alcotest Record String Tell_core Value

@@ -1,0 +1,1 @@
+test/test_recovery_gc.ml: Alcotest Codec Commit_manager Database Gc_task Keys List Pn Printf Record Sql_plan Tell_core Tell_kv Tell_sim Txlog Txn Value

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Buffer Gen List Printf QCheck QCheck_alcotest Tell_sim

@@ -1,0 +1,1 @@
+test/test_smoke.ml: Alcotest Array Codec Database Keys List Pn Printf Record Sql_plan String Tell_core Tell_kv Tell_sim Txlog Txn Value

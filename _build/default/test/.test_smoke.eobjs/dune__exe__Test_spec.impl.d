@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Array Float List Printf Tell_baselines Tell_sim Tell_tpcc

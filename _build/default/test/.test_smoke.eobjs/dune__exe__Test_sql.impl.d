@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Database List Sql_ast Sql_parser Sql_plan String Tell_core Tell_kv Tell_sim Value

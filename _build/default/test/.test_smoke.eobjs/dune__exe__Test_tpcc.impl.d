@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Array Codec Database List Printf String Tell_core Tell_kv Tell_sim Tell_tpcc Txn Value

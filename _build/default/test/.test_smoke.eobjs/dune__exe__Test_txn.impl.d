@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Array Codec Database List Printf Sql_plan Tell_core Tell_kv Tell_sim Txn Value

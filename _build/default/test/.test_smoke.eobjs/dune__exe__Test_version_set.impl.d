@@ -1,0 +1,1 @@
+test/test_version_set.ml: Alcotest Fmt List QCheck QCheck_alcotest Tell_core Version_set

@@ -1,0 +1,1 @@
+test/test_version_set.mli:

@@ -1,0 +1,129 @@
+(* Baseline engines: each must run the TPC-C mixes and keep the data
+   consistent (W_YTD = sum D_YTD) under concurrency — they are real
+   engines with simplified cost models, not mock counters. *)
+
+module Sim = Tell_sim
+open Tell_core
+module Tpcc = Tell_tpcc
+module B = Tell_baselines
+
+let tiny_scale =
+  {
+    Tpcc.Spec.warehouses = 4;
+    districts_per_wh = 4;
+    customers_per_district = 30;
+    items = 100;
+    stock_per_wh = 100;
+    initial_orders_per_district = 30;
+  }
+
+let driver_config =
+  { Tpcc.Driver.terminals = 12; warmup_ns = 50_000_000; measure_ns = 400_000_000; seed = 3 }
+
+let f = Value.as_float
+
+let ytd_of_store store ~scale =
+  let w_sum = ref 0.0 and d_sum = ref 0.0 in
+  for w = 1 to scale.Tpcc.Spec.warehouses do
+    (match B.Row_store.get store ~table:"warehouse" ~key:[ w ] with
+    | Some row -> w_sum := !w_sum +. f row.(7)
+    | None -> ());
+    for d = 1 to scale.districts_per_wh do
+      match B.Row_store.get store ~table:"district" ~key:[ w; d ] with
+      | Some row -> d_sum := !d_sum +. f row.(8)
+      | None -> ()
+    done
+  done;
+  (!w_sum, !d_sum)
+
+let check_ytd ~what (w_sum, d_sum) =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: W_YTD %.2f = sum(D_YTD) %.2f" what w_sum d_sum)
+    true
+    (Float.abs (w_sum -. d_sum) < 0.01)
+
+let merge_stores stores =
+  (* Warehouse-partitioned stores: each warehouse/district row lives in
+     exactly one store, so summing per store and adding up is exact. *)
+  List.fold_left
+    (fun (w_acc, d_acc) store ->
+      let w, d = ytd_of_store store ~scale:tiny_scale in
+      (w_acc +. w, d_acc +. d))
+    (0.0, 0.0) stores
+
+let test_voltdb () =
+  let engine = Sim.Engine.create () in
+  let volt =
+    B.Voltdb_model.create engine
+      ~config:{ B.Voltdb_model.default_config with n_nodes = 2 }
+      ~scale:tiny_scale
+  in
+  let report =
+    Tpcc.Driver.run
+      (module B.Voltdb_model : Tpcc.Engine_intf.ENGINE
+        with type t = B.Voltdb_model.t
+         and type conn = B.Voltdb_model.conn)
+      volt ~engine ~scale:tiny_scale ~mix:Tpcc.Spec.standard_mix ~config:driver_config ()
+  in
+  Alcotest.(check bool) "committed" true (report.committed > 50);
+  let single, multi = B.Voltdb_model.stats volt in
+  Alcotest.(check bool) "has single-partition txns" true (single > 0);
+  Alcotest.(check bool) "has multi-partition txns" true (multi > 0);
+  check_ytd ~what:"voltdb"
+    (merge_stores (Array.to_list (Array.map (fun p -> p.B.Voltdb_model.store) volt.partitions)))
+
+let test_voltdb_shardable_all_single () =
+  let engine = Sim.Engine.create () in
+  let volt =
+    B.Voltdb_model.create engine ~config:B.Voltdb_model.default_config ~scale:tiny_scale
+  in
+  let report =
+    Tpcc.Driver.run
+      (module B.Voltdb_model : Tpcc.Engine_intf.ENGINE
+        with type t = B.Voltdb_model.t
+         and type conn = B.Voltdb_model.conn)
+      volt ~engine ~scale:tiny_scale ~mix:Tpcc.Spec.shardable_mix ~config:driver_config ()
+  in
+  Alcotest.(check bool) "committed" true (report.committed > 50);
+  let _, multi = B.Voltdb_model.stats volt in
+  Alcotest.(check int) "no multi-partition txns under shardable mix" 0 multi
+
+let test_ndb () =
+  let engine = Sim.Engine.create () in
+  let ndb = B.Ndb_model.create engine ~config:B.Ndb_model.default_config ~scale:tiny_scale in
+  let report =
+    Tpcc.Driver.run
+      (module B.Ndb_model : Tpcc.Engine_intf.ENGINE
+        with type t = B.Ndb_model.t
+         and type conn = B.Ndb_model.conn)
+      ndb ~engine ~scale:tiny_scale ~mix:Tpcc.Spec.standard_mix ~config:driver_config ()
+  in
+  Alcotest.(check bool) "committed" true (report.committed > 20);
+  check_ytd ~what:"ndb"
+    (merge_stores (Array.to_list (Array.map (fun dn -> dn.B.Ndb_model.store) ndb.data_nodes)))
+
+let test_fdb () =
+  let engine = Sim.Engine.create () in
+  let fdb = B.Fdb_model.create engine ~config:B.Fdb_model.default_config ~scale:tiny_scale in
+  let report =
+    Tpcc.Driver.run
+      (module B.Fdb_model : Tpcc.Engine_intf.ENGINE
+        with type t = B.Fdb_model.t
+         and type conn = B.Fdb_model.conn)
+      fdb ~engine ~scale:tiny_scale ~mix:Tpcc.Spec.standard_mix ~config:driver_config ()
+  in
+  Alcotest.(check bool) "committed" true (report.committed > 10);
+  check_ytd ~what:"fdb" (ytd_of_store fdb.store ~scale:tiny_scale)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "engines",
+        [
+          Alcotest.test_case "voltdb standard mix + consistency" `Quick test_voltdb;
+          Alcotest.test_case "voltdb shardable is all single-partition" `Quick
+            test_voltdb_shardable_all_single;
+          Alcotest.test_case "mysql-cluster standard mix + consistency" `Quick test_ndb;
+          Alcotest.test_case "foundationdb standard mix + consistency" `Quick test_fdb;
+        ] );
+    ]

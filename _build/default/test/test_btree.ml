@@ -1,0 +1,213 @@
+(* The latch-free B+tree: model-based random testing against a reference
+   map, bulk construction, concurrent insertions from several processing
+   nodes, and structural invariants (§5.3). *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+
+module Entry_set = Set.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+let with_cluster f =
+  let engine = Sim.Engine.create () in
+  let cluster =
+    Kv.Cluster.create engine { Kv.Cluster.default_config with n_storage_nodes = 3 }
+  in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine cluster));
+  Sim.Engine.run engine ~until:120_000_000_000 ();
+  match !result with Some r -> r | None -> Alcotest.fail "simulation did not finish"
+
+let client cluster = Kv.Client.create cluster ~group:(Sim.Engine.root_group (Kv.Cluster.engine cluster))
+
+(* Random operation sequence checked against a set model. *)
+let test_model_random () =
+  with_cluster (fun _engine cluster ->
+      let kv = client cluster in
+      Btree.create kv ~name:"model";
+      let tree = Btree.attach kv ~name:"model" in
+      let rng = Random.State.make [| 1234 |] in
+      let model = ref Entry_set.empty in
+      for _step = 1 to 1_500 do
+        let key = Printf.sprintf "k%03d" (Random.State.int rng 200) in
+        let rid = Random.State.int rng 5 in
+        match Random.State.int rng 10 with
+        | 0 | 1 | 2 | 3 | 4 | 5 ->
+            Btree.insert tree ~key ~rid;
+            model := Entry_set.add (key, rid) !model
+        | 6 | 7 ->
+            Btree.remove tree ~key ~rid;
+            model := Entry_set.remove (key, rid) !model
+        | 8 ->
+            let expected =
+              Entry_set.elements (Entry_set.filter (fun (k, _) -> k = key) !model)
+              |> List.map snd
+            in
+            Alcotest.(check (list int)) ("lookup " ^ key) expected (Btree.lookup tree ~key)
+        | _ ->
+            let lo = Printf.sprintf "k%03d" (Random.State.int rng 200) in
+            let hi = Printf.sprintf "k%03d" (Random.State.int rng 200) in
+            let lo, hi = if lo <= hi then (lo, hi) else (hi, lo) in
+            let expected =
+              Entry_set.elements (Entry_set.filter (fun (k, _) -> lo <= k && k < hi) !model)
+            in
+            Alcotest.(check (list (pair string int)))
+              (Printf.sprintf "range [%s,%s)" lo hi)
+              expected (Btree.range tree ~lo ~hi)
+      done;
+      Btree.check_invariants tree;
+      (* Final full-range sweep. *)
+      let all = Btree.range tree ~lo:"" ~hi:"\xff" in
+      Alcotest.(check (list (pair string int))) "final contents" (Entry_set.elements !model) all)
+
+(* Enough sequential insertions to force leaf, inner, and root splits. *)
+let test_many_inserts_split () =
+  with_cluster (fun _engine cluster ->
+      let kv = client cluster in
+      Btree.create kv ~name:"big";
+      let tree = Btree.attach kv ~name:"big" in
+      let n = 5_000 in
+      for i = 1 to n do
+        Btree.insert tree ~key:(Printf.sprintf "key%06d" i) ~rid:i
+      done;
+      Btree.check_invariants tree;
+      Alcotest.(check int) "all entries present" n
+        (List.length (Btree.range tree ~lo:"" ~hi:"\xff"));
+      (* Point lookups across the range. *)
+      for i = 1 to n do
+        if i mod 137 = 0 then
+          Alcotest.(check (list int))
+            (Printf.sprintf "lookup %d" i)
+            [ i ]
+            (Btree.lookup tree ~key:(Printf.sprintf "key%06d" i))
+      done)
+
+(* Concurrent inserters on separate clients (PNs): all entries must end up
+   present, without latches, through LL/SC retries alone. *)
+let test_concurrent_inserts () =
+  with_cluster (fun engine cluster ->
+      let kv0 = client cluster in
+      Btree.create kv0 ~name:"conc";
+      let n_workers = 6 in
+      let per_worker = 300 in
+      let done_count = ref 0 in
+      for w = 0 to n_workers - 1 do
+        Sim.Engine.spawn engine (fun () ->
+            let kv = client cluster in
+            let tree = Btree.attach kv ~name:"conc" in
+            for i = 0 to per_worker - 1 do
+              let key = Printf.sprintf "k%05d" ((i * n_workers) + w) in
+              Btree.insert tree ~key ~rid:w;
+              (* Interleave aggressively. *)
+              if i mod 7 = 0 then Sim.Engine.sleep engine 1_000
+            done;
+            incr done_count)
+      done;
+      (* Wait for every worker. *)
+      while !done_count < n_workers do
+        Sim.Engine.sleep engine 1_000_000
+      done;
+      let tree = Btree.attach kv0 ~name:"conc" in
+      Btree.check_invariants tree;
+      let all = Btree.range tree ~lo:"" ~hi:"\xff" in
+      Alcotest.(check int) "all concurrent inserts present" (n_workers * per_worker)
+        (List.length all))
+
+(* Bulk construction must agree with incremental construction. *)
+let test_bulk_matches_incremental () =
+  with_cluster (fun _engine cluster ->
+      let entries =
+        List.init 2_000 (fun i -> (Printf.sprintf "key%05d" (i * 7 mod 2000), i mod 3))
+      in
+      let kv = client cluster in
+      List.iter
+        (fun (key, data) -> Kv.Client.put kv key data)
+        (List.map (fun (k, v) -> (k, v)) []);
+      ignore kv;
+      (* Install bulk cells directly. *)
+      List.iter
+        (fun (key, data) -> Kv.Cluster.poke cluster ~key ~data)
+        (Btree.bulk_cells ~name:"bulk" ~entries);
+      let tree = Btree.attach kv ~name:"bulk" in
+      Btree.check_invariants tree;
+      let expected = List.sort_uniq compare entries in
+      Alcotest.(check (list (pair string int)))
+        "bulk-built tree contains exactly the entries" expected
+        (Btree.range tree ~lo:"" ~hi:"\xff");
+      (* And it must remain fully updatable. *)
+      Btree.insert tree ~key:"key99999" ~rid:1;
+      Btree.remove tree ~key:"key00000" ~rid:0;
+      Btree.check_invariants tree;
+      Alcotest.(check (list int)) "insert after bulk" [ 1 ] (Btree.lookup tree ~key:"key99999"))
+
+let test_range_limit () =
+  with_cluster (fun _engine cluster ->
+      let kv = client cluster in
+      Btree.create kv ~name:"lim";
+      let tree = Btree.attach kv ~name:"lim" in
+      for i = 1 to 500 do
+        Btree.insert tree ~key:(Printf.sprintf "k%04d" i) ~rid:i
+      done;
+      let first_10 = Btree.range_limit tree ~lo:"" ~hi:"\xff" ~limit:10 in
+      Alcotest.(check int) "limit honoured" 10 (List.length first_10);
+      Alcotest.(check (pair string int)) "first entry" ("k0001", 1)
+        (match first_10 with e :: _ -> e | [] -> Alcotest.fail "empty"))
+
+let test_lookup_many () =
+  with_cluster (fun _engine cluster ->
+      let kv = client cluster in
+      Btree.create kv ~name:"many";
+      let tree = Btree.attach kv ~name:"many" in
+      for i = 1 to 2_000 do
+        Btree.insert tree ~key:(Printf.sprintf "k%05d" i) ~rid:i
+      done;
+      let keys =
+        List.map (fun i -> Printf.sprintf "k%05d" i) [ 1; 57; 58; 1999; 1500; 12345; 3 ]
+      in
+      let results = Btree.lookup_many tree ~keys in
+      Alcotest.(check int) "one result per key" (List.length keys) (List.length results);
+      List.iter2
+        (fun key (rkey, rids) ->
+          Alcotest.(check string) "input order preserved" key rkey;
+          Alcotest.(check (list int)) ("rids for " ^ key) (Btree.lookup tree ~key) rids)
+        keys results;
+      (* And the batched path agrees after mutations invalidate caches. *)
+      Btree.remove tree ~key:"k00057" ~rid:57;
+      Btree.insert tree ~key:"k00057" ~rid:5757;
+      match Btree.lookup_many tree ~keys:[ "k00057" ] with
+      | [ (_, rids) ] -> Alcotest.(check (list int)) "fresh value" [ 5757 ] rids
+      | _ -> Alcotest.fail "single result expected")
+
+let test_duplicate_keys () =
+  with_cluster (fun _engine cluster ->
+      let kv = client cluster in
+      Btree.create kv ~name:"dup";
+      let tree = Btree.attach kv ~name:"dup" in
+      (* Many rids under the same attribute key (non-unique index). *)
+      for rid = 1 to 200 do
+        Btree.insert tree ~key:"same" ~rid
+      done;
+      Alcotest.(check int) "all duplicates" 200 (List.length (Btree.lookup tree ~key:"same"));
+      Btree.remove tree ~key:"same" ~rid:77;
+      let rids = Btree.lookup tree ~key:"same" in
+      Alcotest.(check int) "one removed" 199 (List.length rids);
+      Alcotest.(check bool) "right one removed" false (List.mem 77 rids))
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "btree",
+        [
+          Alcotest.test_case "model-based random ops" `Quick test_model_random;
+          Alcotest.test_case "splits under sequential load" `Quick test_many_inserts_split;
+          Alcotest.test_case "concurrent inserts (latch-free)" `Quick test_concurrent_inserts;
+          Alcotest.test_case "bulk build = incremental" `Quick test_bulk_matches_incremental;
+          Alcotest.test_case "range limit" `Quick test_range_limit;
+          Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
+          Alcotest.test_case "lookup_many batched" `Quick test_lookup_many;
+        ] );
+    ]

@@ -1,0 +1,142 @@
+(* Buffering strategies (§5.5): hit/miss behaviour of the shared record
+   buffer, version-set revalidation of SBVS, and — the crucial property —
+   observational equivalence: all three strategies must return exactly the
+   same data under any interleaving of reads and remote writes. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+module Tpcc = Tell_tpcc
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run engine ~until:120_000_000_000 ();
+  match !result with Some r -> r | None -> Alcotest.fail "did not finish"
+
+let make_db engine ~buffer =
+  let kv_config =
+    { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 1 }
+  in
+  let db = Database.create engine ~kv_config () in
+  let pn_writer = Database.add_pn db () in
+  let pn_reader = Database.add_pn db ~buffer () in
+  let _ = Database.exec pn_writer "CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))" in
+  for i = 1 to 50 do
+    ignore (Database.exec pn_writer (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i (i * 100)))
+  done;
+  (db, pn_writer, pn_reader)
+
+let read_value pn ~id =
+  Database.with_txn pn (fun txn ->
+      match Database.exec_in txn (Printf.sprintf "SELECT v FROM t WHERE id = %d" id) with
+      | Sql_plan.Rows { rows = [ [| Value.Int v |] ]; _ } -> v
+      | _ -> Alcotest.fail "read failed")
+
+let test_sb_hits () =
+  run_sim (fun engine ->
+      let _, _, pn_reader =
+        make_db engine ~buffer:(Buffer_pool.Shared_record_buffer { capacity = 1_000 })
+      in
+      (* §5.5.2: a buffered record tagged with V_max can only serve
+         transactions whose snapshot is no newer — i.e. concurrent
+         transactions that started before (or with) the one that filled
+         the entry.  Start the older transaction first, warm the buffer
+         with the younger one, then read through the older one. *)
+      let older = Txn.begin_txn pn_reader in
+      let younger = Txn.begin_txn pn_reader in
+      let read_in txn id =
+        match Database.exec_in txn (Printf.sprintf "SELECT v FROM t WHERE id = %d" id) with
+        | Sql_plan.Rows { rows = [ [| Value.Int v |] ]; _ } -> v
+        | _ -> Alcotest.fail "read failed"
+      in
+      List.iter (fun id -> ignore (read_in younger id)) [ 3; 7; 11 ];
+      let before_hits = Buffer_pool.hits (Pn.pool pn_reader) in
+      List.iter
+        (fun id -> Alcotest.(check int) "value" (id * 100) (read_in older id))
+        [ 3; 7; 11 ];
+      Alcotest.(check bool) "buffer served the older transaction" true
+        (Buffer_pool.hits (Pn.pool pn_reader) >= before_hits + 3);
+      Txn.commit older;
+      Txn.commit younger)
+
+let test_remote_write_visibility ~buffer () =
+  run_sim (fun engine ->
+      let _, pn_writer, pn_reader = make_db engine ~buffer in
+      (* Warm the reader's buffer. *)
+      Alcotest.(check int) "initial" 500 (read_value pn_reader ~id:5);
+      (* Remote PN updates the row; a NEW transaction on the reader must
+         see it despite the buffered copy. *)
+      ignore (Database.exec pn_writer "UPDATE t SET v = 9999 WHERE id = 5");
+      Alcotest.(check int) "sees remote write" 9999 (read_value pn_reader ~id:5);
+      (* And ten more rounds of write/read ping-pong stay coherent. *)
+      for round = 1 to 10 do
+        ignore
+          (Database.exec pn_writer (Printf.sprintf "UPDATE t SET v = %d WHERE id = 5" round));
+        Alcotest.(check int) (Printf.sprintf "round %d" round) round (read_value pn_reader ~id:5)
+      done)
+
+(* Run the same deterministic TPC-C load under each strategy: final
+   database state (the YTD invariants and a district sample) must agree. *)
+let test_strategies_equivalent () =
+  let final_state buffer =
+    run_sim (fun engine ->
+        let kv_config =
+          { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 1 }
+        in
+        let db = Database.create engine ~kv_config () in
+        let pns = [ Database.add_pn db ~buffer (); Database.add_pn db ~buffer () ] in
+        let scale =
+          {
+            Tpcc.Spec.warehouses = 2;
+            districts_per_wh = 4;
+            customers_per_district = 30;
+            items = 100;
+            stock_per_wh = 100;
+            initial_orders_per_district = 30;
+          }
+        in
+        let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:11 in
+        let tell = Tpcc.Tell_engine.create db ~pns ~scale in
+        let config =
+          { Tpcc.Driver.terminals = 8; warmup_ns = 20_000_000; measure_ns = 150_000_000; seed = 3 }
+        in
+        let report =
+          Tpcc.Driver.run
+            (module Tpcc.Tell_engine : Tpcc.Engine_intf.ENGINE
+              with type t = Tpcc.Tell_engine.t
+               and type conn = Tpcc.Tell_engine.conn)
+            tell ~engine ~scale ~mix:Tpcc.Spec.standard_mix ~config ()
+        in
+        Alcotest.(check bool) "ran" true (report.committed > 20);
+        let violations = Tpcc.Consistency.check_all (List.nth pns 0) ~scale in
+        Alcotest.(check (list string)) "consistent" [] violations;
+        report.committed > 0)
+  in
+  Alcotest.(check bool) "TB consistent" true (final_state Buffer_pool.Transaction_buffer);
+  Alcotest.(check bool) "SB consistent" true
+    (final_state (Buffer_pool.Shared_record_buffer { capacity = 10_000 }));
+  Alcotest.(check bool) "SBVS10 consistent" true
+    (final_state (Buffer_pool.Shared_vs_buffer { capacity = 10_000; unit_size = 10 }));
+  Alcotest.(check bool) "SBVS1000 consistent" true
+    (final_state (Buffer_pool.Shared_vs_buffer { capacity = 10_000; unit_size = 1000 }))
+
+let () =
+  Alcotest.run "buffering"
+    [
+      ( "strategies",
+        [
+          Alcotest.test_case "shared buffer produces hits" `Quick test_sb_hits;
+          Alcotest.test_case "SB: remote writes visible" `Quick
+            (test_remote_write_visibility
+               ~buffer:(Buffer_pool.Shared_record_buffer { capacity = 1_000 }));
+          Alcotest.test_case "SBVS10: remote writes visible" `Quick
+            (test_remote_write_visibility
+               ~buffer:(Buffer_pool.Shared_vs_buffer { capacity = 1_000; unit_size = 10 }));
+          Alcotest.test_case "SBVS1000: remote writes visible" `Quick
+            (test_remote_write_visibility
+               ~buffer:(Buffer_pool.Shared_vs_buffer { capacity = 1_000; unit_size = 1000 }));
+          Alcotest.test_case "all strategies TPC-C-consistent" `Slow test_strategies_equivalent;
+        ] );
+    ]

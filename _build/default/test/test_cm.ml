@@ -1,0 +1,142 @@
+(* The commit manager: snapshot semantics, tid uniqueness under
+   concurrency, multi-manager synchronisation through the store, lav
+   safety, and fail-over recovery (§4.2, §4.4.3). *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+
+let run ?(until = 60_000_000_000) f =
+  let engine = Sim.Engine.create () in
+  let cluster = Kv.Cluster.create engine { Kv.Cluster.default_config with n_storage_nodes = 3 } in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine cluster));
+  Sim.Engine.run engine ~until ();
+  match !result with Some r -> r | None -> Alcotest.fail "did not finish"
+
+let group engine = Sim.Engine.root_group engine
+
+let test_tid_uniqueness () =
+  run (fun engine cluster ->
+      let cm = Commit_manager.create cluster ~id:0 () in
+      let seen = Hashtbl.create 256 in
+      let finished = ref 0 in
+      let workers = 10 and per_worker = 40 in
+      for _ = 1 to workers do
+        Sim.Engine.spawn engine (fun () ->
+            for _ = 1 to per_worker do
+              let reply = Commit_manager.start cm ~from_group:(group engine) in
+              Alcotest.(check bool) "tid unique" false (Hashtbl.mem seen reply.tid);
+              Hashtbl.replace seen reply.tid ();
+              Sim.Engine.sleep engine 1_000;
+              Commit_manager.set_committed cm ~tid:reply.tid
+            done;
+            incr finished)
+      done;
+      while !finished < workers do
+        Sim.Engine.sleep engine 1_000_000
+      done;
+      Alcotest.(check int) "all tids assigned" (workers * per_worker) (Hashtbl.length seen))
+
+let test_snapshot_excludes_active () =
+  run (fun engine cluster ->
+      let cm = Commit_manager.create cluster ~id:0 () in
+      let t1 = Commit_manager.start cm ~from_group:(group engine) in
+      let t2 = Commit_manager.start cm ~from_group:(group engine) in
+      (* Neither sees the other (both still active). *)
+      Alcotest.(check bool) "t2 not in t1 snapshot" false (Version_set.mem t1.snapshot t2.tid);
+      Alcotest.(check bool) "t1 not in t2 snapshot" false (Version_set.mem t2.snapshot t1.tid);
+      Commit_manager.set_committed cm ~tid:t1.tid;
+      let t3 = Commit_manager.start cm ~from_group:(group engine) in
+      Alcotest.(check bool) "t3 sees committed t1" true (Version_set.mem t3.snapshot t1.tid);
+      Alcotest.(check bool) "t3 does not see active t2" false (Version_set.mem t3.snapshot t2.tid);
+      Commit_manager.set_aborted cm ~tid:t2.tid;
+      Commit_manager.set_committed cm ~tid:t3.tid)
+
+let test_lav_is_safe () =
+  run (fun engine cluster ->
+      let cm = Commit_manager.create cluster ~id:0 () in
+      let long_runner = Commit_manager.start cm ~from_group:(group engine) in
+      (* Start and commit many transactions while one stays active. *)
+      for _ = 1 to 50 do
+        let t = Commit_manager.start cm ~from_group:(group engine) in
+        Commit_manager.set_committed cm ~tid:t.tid
+      done;
+      let newcomer = Commit_manager.start cm ~from_group:(group engine) in
+      (* The lav may never exceed the base of any active snapshot: a version
+         at or below the lav must be visible to everyone still running. *)
+      Alcotest.(check bool) "lav <= long runner's base" true
+        (newcomer.lav <= Version_set.base long_runner.snapshot);
+      Commit_manager.set_committed cm ~tid:long_runner.tid;
+      Commit_manager.set_committed cm ~tid:newcomer.tid;
+      (* Once the long-runner finishes, the lav catches up. *)
+      let final = Commit_manager.start cm ~from_group:(group engine) in
+      Alcotest.(check bool) "lav advanced" true (final.lav > newcomer.lav))
+
+let test_multi_cm_sync () =
+  run (fun engine cluster ->
+      let cm0 = Commit_manager.create cluster ~id:0 ~peers:[ 0; 1 ] ~sync_interval_ns:500_000 () in
+      let cm1 = Commit_manager.create cluster ~id:1 ~peers:[ 0; 1 ] ~sync_interval_ns:500_000 () in
+      (* Commit through cm0; after a couple of sync intervals, cm1's
+         snapshots include it. *)
+      let t = Commit_manager.start cm0 ~from_group:(group engine) in
+      Commit_manager.set_committed cm0 ~tid:t.tid;
+      Sim.Engine.sleep engine 2_000_000;
+      let via_cm1 = Commit_manager.start cm1 ~from_group:(group engine) in
+      Alcotest.(check bool) "cm1 snapshot includes cm0's commit" true
+        (Version_set.mem via_cm1.snapshot t.tid);
+      Commit_manager.set_committed cm1 ~tid:via_cm1.tid;
+      (* Tids from the two managers never collide (shared counter). *)
+      let a = Commit_manager.start cm0 ~from_group:(group engine) in
+      let b = Commit_manager.start cm1 ~from_group:(group engine) in
+      Alcotest.(check bool) "distinct tids across managers" true (a.tid <> b.tid))
+
+let test_cm_failover_recovery () =
+  run (fun engine cluster ->
+      let cm0 = Commit_manager.create cluster ~id:0 ~sync_interval_ns:500_000 () in
+      let committed = ref [] in
+      for _ = 1 to 30 do
+        let t = Commit_manager.start cm0 ~from_group:(group engine) in
+        Commit_manager.set_committed cm0 ~tid:t.tid;
+        committed := t.tid :: !committed
+      done;
+      (* Let it publish, then crash it and stand up a replacement. *)
+      Sim.Engine.sleep engine 2_000_000;
+      Commit_manager.crash cm0;
+      let cm1 = Commit_manager.create cluster ~id:1 ~peers:[ 0; 1 ] () in
+      Commit_manager.recover cm1;
+      let t = Commit_manager.start cm1 ~from_group:(group engine) in
+      List.iter
+        (fun tid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "recovered snapshot includes tid %d" tid)
+            true (Version_set.mem t.snapshot tid))
+        !committed;
+      (* And new tids continue above everything seen before. *)
+      Alcotest.(check bool) "fresh tid above recovered history" true
+        (List.for_all (fun old -> t.tid > old) !committed))
+
+let test_dead_cm_unavailable () =
+  run (fun engine cluster ->
+      let cm = Commit_manager.create cluster ~id:0 () in
+      Commit_manager.crash cm;
+      match Commit_manager.start cm ~from_group:(group engine) with
+      | _ -> Alcotest.fail "dead manager must not answer"
+      | exception Kv.Op.Unavailable _ -> ())
+
+let () =
+  Alcotest.run "commit_manager"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "tid uniqueness under concurrency" `Quick test_tid_uniqueness;
+          Alcotest.test_case "snapshots exclude active txns" `Quick test_snapshot_excludes_active;
+          Alcotest.test_case "lav safety" `Quick test_lav_is_safe;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "multi-CM store synchronisation" `Quick test_multi_cm_sync;
+          Alcotest.test_case "fail-over recovery from store" `Quick test_cm_failover_recovery;
+          Alcotest.test_case "dead CM raises Unavailable" `Quick test_dead_cm_unavailable;
+        ] );
+    ]

@@ -1,0 +1,171 @@
+(* The record store: LL/SC semantics, batching, replication, capacity
+   accounting, and fail-over behaviour. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+
+let run_cluster ?(config = { Kv.Cluster.default_config with n_storage_nodes = 3 }) f =
+  let engine = Sim.Engine.create () in
+  let cluster = Kv.Cluster.create engine config in
+  Kv.Cluster.start_failure_detector cluster;
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () ->
+      let client = Kv.Client.create cluster ~group:(Sim.Engine.root_group engine) in
+      result := Some (f engine cluster client));
+  Sim.Engine.run engine ~until:60_000_000_000 ();
+  match !result with Some r -> r | None -> Alcotest.fail "did not finish"
+
+let test_llsc_aba () =
+  run_cluster (fun _ _ client ->
+      (* The ABA scenario: value returns to its original content, yet the
+         conditional write must still fail (tokens count writes). *)
+      Kv.Client.put client "x" "a";
+      let token0 =
+        match Kv.Client.get client "x" with Some (_, tok) -> tok | None -> assert false
+      in
+      Kv.Client.put client "x" "b";
+      Kv.Client.put client "x" "a";
+      (match Kv.Client.put_if client "x" (Some token0) "c" with
+      | `Conflict -> ()
+      | `Ok _ -> Alcotest.fail "ABA must be detected");
+      Alcotest.(check string) "value unchanged" "a"
+        (match Kv.Client.get client "x" with Some (v, _) -> v | None -> "?"))
+
+let test_conditional_insert_delete () =
+  run_cluster (fun _ _ client ->
+      (match Kv.Client.put_if client "fresh" None "v1" with
+      | `Ok _ -> ()
+      | `Conflict -> Alcotest.fail "insert of absent key must succeed");
+      (match Kv.Client.put_if client "fresh" None "v2" with
+      | `Conflict -> ()
+      | `Ok _ -> Alcotest.fail "second insert must conflict");
+      let token =
+        match Kv.Client.get client "fresh" with Some (_, t) -> t | None -> assert false
+      in
+      (match Kv.Client.remove_if client "fresh" (Some (token + 1)) with
+      | `Conflict -> ()
+      | `Ok -> Alcotest.fail "stale-token delete must conflict");
+      (match Kv.Client.remove_if client "fresh" (Some token) with
+      | `Ok -> ()
+      | `Conflict -> Alcotest.fail "fresh-token delete must succeed");
+      Alcotest.(check (option (pair string int))) "gone" None (Kv.Client.get client "fresh"))
+
+let test_batching_counts () =
+  run_cluster (fun _ _ client ->
+      let keys = List.init 64 (fun i -> Printf.sprintf "key%03d" i) in
+      List.iter (fun k -> Kv.Client.put client k k) keys;
+      let before = Kv.Client.requests_sent client in
+      let values = Kv.Client.multi_get client keys in
+      let requests = Kv.Client.requests_sent client - before in
+      Alcotest.(check int) "all values returned" 64
+        (List.length (List.filter Option.is_some values));
+      (* 64 gets over 3 storage nodes: far fewer requests than operations. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "batched (%d requests for 64 ops)" requests)
+        true (requests <= 12))
+
+let test_replication_preserves_data () =
+  let config =
+    { Kv.Cluster.default_config with n_storage_nodes = 4; replication_factor = 3 }
+  in
+  run_cluster ~config (fun engine cluster client ->
+      for i = 1 to 200 do
+        Kv.Client.put client (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i)
+      done;
+      (* Kill two of four nodes: RF3 must survive any two failures. *)
+      Kv.Cluster.crash_node cluster 0;
+      Sim.Engine.sleep engine 2_000_000;
+      Kv.Cluster.crash_node cluster 2;
+      Sim.Engine.sleep engine 2_000_000;
+      let alive = ref 0 in
+      for i = 1 to 200 do
+        match Kv.Client.get client (Printf.sprintf "k%d" i) with
+        | Some (v, _) when v = Printf.sprintf "v%d" i -> incr alive
+        | Some _ | None -> ()
+      done;
+      Alcotest.(check int) "no data lost after two failures" 200 !alive)
+
+let test_writes_after_failover () =
+  let config =
+    { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 2 }
+  in
+  run_cluster ~config (fun engine cluster client ->
+      Kv.Client.put client "stable" "before";
+      Kv.Cluster.crash_node cluster 1;
+      Sim.Engine.sleep engine 2_000_000;
+      (* The store stays writable through fail-over. *)
+      Kv.Client.put client "stable" "after";
+      for i = 1 to 50 do
+        Kv.Client.put client (Printf.sprintf "new%d" i) "x"
+      done;
+      Alcotest.(check string) "updated value" "after"
+        (match Kv.Client.get client "stable" with Some (v, _) -> v | None -> "?");
+      Alcotest.(check int) "replication factor restored" 2
+        (List.length
+           (Kv.Directory.replicas (Kv.Cluster.directory cluster)
+              (Kv.Directory.partition_of_key (Kv.Cluster.directory cluster) "stable"))))
+
+let test_capacity_limit () =
+  let config =
+    {
+      Kv.Cluster.default_config with
+      n_storage_nodes = 2;
+      sn_capacity_bytes = 64 * 1024;
+    }
+  in
+  run_cluster ~config (fun _ _ client ->
+      match
+        for i = 1 to 10_000 do
+          Kv.Client.put client (Printf.sprintf "big%05d" i) (String.make 64 'x')
+        done
+      with
+      | () -> Alcotest.fail "expected Capacity_exceeded"
+      | exception Kv.Op.Capacity_exceeded _ -> ())
+
+let test_increment_is_atomic () =
+  run_cluster (fun engine _ client ->
+      (* Concurrent incrementers must produce a dense, unique range. *)
+      let seen = Hashtbl.create 64 in
+      let finished = ref 0 in
+      let workers = 8 and per_worker = 25 in
+      for _ = 1 to workers do
+        Sim.Engine.spawn engine (fun () ->
+            for _ = 1 to per_worker do
+              let v = Kv.Client.increment client "ctr" 1 in
+              Alcotest.(check bool) "unique" false (Hashtbl.mem seen v);
+              Hashtbl.replace seen v ()
+            done;
+            incr finished)
+      done;
+      while !finished < workers do
+        Sim.Engine.sleep engine 1_000_000
+      done;
+      Alcotest.(check int) "final counter value" (workers * per_worker)
+        (Kv.Client.increment client "ctr" 0))
+
+let test_scan_prefix () =
+  run_cluster (fun _ _ client ->
+      List.iter (fun k -> Kv.Client.put client k k)
+        [ "a/1"; "a/2"; "a/3"; "b/1"; "ab"; "a" ];
+      let hits = Kv.Client.scan_all client ~prefix:"a/" in
+      Alcotest.(check (list string)) "prefix scan" [ "a/1"; "a/2"; "a/3" ]
+        (List.map (fun (k, _, _) -> k) hits))
+
+let () =
+  Alcotest.run "kv"
+    [
+      ( "llsc",
+        [
+          Alcotest.test_case "ABA detection" `Quick test_llsc_aba;
+          Alcotest.test_case "conditional insert/delete" `Quick test_conditional_insert_delete;
+          Alcotest.test_case "atomic increment" `Quick test_increment_is_atomic;
+        ] );
+      ( "distribution",
+        [
+          Alcotest.test_case "request batching" `Quick test_batching_counts;
+          Alcotest.test_case "RF3 survives two failures" `Quick test_replication_preserves_data;
+          Alcotest.test_case "writes during failover + RF restore" `Quick test_writes_after_failover;
+          Alcotest.test_case "capacity limit" `Quick test_capacity_limit;
+          Alcotest.test_case "prefix scan" `Quick test_scan_prefix;
+        ] );
+    ]

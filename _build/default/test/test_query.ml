@@ -1,0 +1,155 @@
+(* The query engine's expressions and operators, tested directly on
+   in-memory row lists (no cluster needed except for the scan tests). *)
+
+open Tell_core
+
+let v i = Value.Int i
+let row l = Array.of_list (List.map v l)
+
+let test_eval_arithmetic () =
+  let r = row [ 10; 3 ] in
+  let eval e = Query.eval r e in
+  Alcotest.(check bool) "add" true (Value.equal (eval (Query.Binop (Query.Add, Query.Col 0, Query.Col 1))) (v 13));
+  Alcotest.(check bool) "sub" true (Value.equal (eval (Query.Binop (Query.Sub, Query.Col 0, Query.Col 1))) (v 7));
+  Alcotest.(check bool) "mul" true (Value.equal (eval (Query.Binop (Query.Mul, Query.Col 0, Query.Col 1))) (v 30));
+  Alcotest.(check bool) "div" true (Value.equal (eval (Query.Binop (Query.Div, Query.Col 0, Query.Col 1))) (v 3));
+  Alcotest.(check bool) "mod" true (Value.equal (eval (Query.Binop (Query.Mod, Query.Col 0, Query.Col 1))) (v 1));
+  Alcotest.(check bool) "mixed int/float" true
+    (Value.equal
+       (Query.eval [| Value.Int 1; Value.Float 0.5 |] (Query.Binop (Query.Add, Query.Col 0, Query.Col 1)))
+       (Value.Float 1.5))
+
+let test_eval_null_propagation () =
+  let r = [| Value.Null; Value.Int 5 |] in
+  Alcotest.(check bool) "null + x = null" true
+    (Value.is_null (Query.eval r (Query.Binop (Query.Add, Query.Col 0, Query.Col 1))));
+  Alcotest.(check bool) "null = x is not true" false
+    (Query.eval_bool r (Query.Binop (Query.Eq, Query.Col 0, Query.Col 1)));
+  Alcotest.(check bool) "null <> x is not true either" false
+    (Query.eval_bool r (Query.Binop (Query.Ne, Query.Col 0, Query.Col 1)));
+  Alcotest.(check bool) "is_null" true (Query.eval_bool r (Query.Is_null (Query.Col 0)))
+
+let test_filter_project () =
+  let input = Query.of_list [ row [ 1; 10 ]; row [ 2; 20 ]; row [ 3; 30 ] ] in
+  let out =
+    Query.to_list
+      (Query.project
+         [ Query.Binop (Query.Mul, Query.Col 1, Query.Lit (v 2)) ]
+         (Query.filter (Query.Binop (Query.Ge, Query.Col 0, Query.Lit (v 2))) input))
+  in
+  Alcotest.(check int) "rows" 2 (List.length out);
+  Alcotest.(check bool) "values" true
+    (List.for_all2 (fun r expected -> Value.equal r.(0) (v expected)) out [ 40; 60 ])
+
+let test_sort_stability_and_direction () =
+  let input = Query.of_list [ row [ 2; 1 ]; row [ 1; 2 ]; row [ 2; 3 ]; row [ 1; 4 ] ] in
+  let out = Query.to_list (Query.sort ~by:[ (Query.Col 0, `Asc) ] input) in
+  (* Stable: rows with equal keys keep their input order (2nd column). *)
+  Alcotest.(check (list int)) "stable sort" [ 2; 4; 1; 3 ]
+    (List.map (fun r -> Value.as_int r.(1)) out);
+  let desc = Query.to_list (Query.sort ~by:[ (Query.Col 0, `Desc) ] (Query.of_list [ row [ 1; 0 ]; row [ 3; 0 ]; row [ 2; 0 ] ])) in
+  Alcotest.(check (list int)) "desc" [ 3; 2; 1 ] (List.map (fun r -> Value.as_int r.(0)) desc)
+
+let test_limit_distinct () =
+  let input () = Query.of_list [ row [ 1 ]; row [ 1 ]; row [ 2 ]; row [ 3 ]; row [ 2 ] ] in
+  Alcotest.(check int) "limit" 3 (List.length (Query.to_list (Query.limit 3 (input ()))));
+  Alcotest.(check int) "distinct" 3 (List.length (Query.to_list (Query.distinct (input ()))))
+
+let test_nested_loop_join () =
+  let outer = Query.of_list [ row [ 1 ]; row [ 2 ] ] in
+  let inner outer_row =
+    let k = Value.as_int outer_row.(0) in
+    Query.of_list (List.init k (fun i -> row [ (k * 10) + i ]))
+  in
+  let out = Query.to_list (Query.nested_loop_join ~outer ~inner) in
+  Alcotest.(check (list (list int))) "concatenated rows"
+    [ [ 1; 10 ]; [ 2; 20 ]; [ 2; 21 ] ]
+    (List.map (fun r -> Array.to_list (Array.map Value.as_int r)) out)
+
+let test_aggregate_groups () =
+  let input =
+    Query.of_list [ row [ 1; 10 ]; row [ 1; 20 ]; row [ 2; 5 ]; row [ 2; 7 ]; row [ 2; 9 ] ]
+  in
+  let out =
+    Query.to_list
+      (Query.aggregate ~group_by:[ Query.Col 0 ]
+         ~aggs:[ Query.Count_star; Query.Sum (Query.Col 1); Query.Avg (Query.Col 1) ]
+         input)
+  in
+  let sorted = List.sort (fun a b -> Value.compare a.(0) b.(0)) out in
+  match sorted with
+  | [ g1; g2 ] ->
+      Alcotest.(check int) "g1 count" 2 (Value.as_int g1.(1));
+      Alcotest.(check int) "g1 sum" 30 (Value.as_int g1.(2));
+      Alcotest.(check (float 1e-9)) "g2 avg" 7.0 (Value.as_float g2.(3))
+  | _ -> Alcotest.fail "expected two groups"
+
+let test_aggregate_empty_input () =
+  let out =
+    Query.to_list
+      (Query.aggregate ~group_by:[]
+         ~aggs:[ Query.Count_star; Query.Sum (Query.Col 0); Query.Min (Query.Col 0) ]
+         (Query.of_list []))
+  in
+  match out with
+  | [ r ] ->
+      Alcotest.(check int) "count 0" 0 (Value.as_int r.(0));
+      Alcotest.(check bool) "sum null" true (Value.is_null r.(1));
+      Alcotest.(check bool) "min null" true (Value.is_null r.(2))
+  | _ -> Alcotest.fail "aggregates over empty input emit one row"
+
+let test_aggregate_empty_groups () =
+  let out =
+    Query.to_list (Query.aggregate ~group_by:[ Query.Col 0 ] ~aggs:[ Query.Count_star ] (Query.of_list []))
+  in
+  Alcotest.(check int) "no groups from empty input" 0 (List.length out)
+
+(* Reference LIKE implementation via Str-free naive regex expansion. *)
+let test_like () =
+  let cases =
+    [
+      ("abc", "abc", true);
+      ("abc", "ab", false);
+      ("a%", "abc", true);
+      ("%c", "abc", true);
+      ("%b%", "abc", true);
+      ("a_c", "abc", true);
+      ("a_c", "abbc", false);
+      ("%", "", true);
+      ("_", "", false);
+      ("a%b%c", "axxbyyc", true);
+      ("a%b%c", "acb", false);
+      ("%%", "anything", true);
+      ("BAR%", "BARBARBAR", true);
+    ]
+  in
+  List.iter
+    (fun (pattern, text, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S LIKE %S" text pattern)
+        expected
+        (Query.eval_bool [| Value.Str text |] (Query.Like (Query.Col 0, pattern))))
+    cases;
+  Alcotest.(check bool) "NULL LIKE is not true" false
+    (Query.eval_bool [| Value.Null |] (Query.Like (Query.Col 0, "%")))
+
+let () =
+  Alcotest.run "query"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_eval_arithmetic;
+          Alcotest.test_case "null propagation" `Quick test_eval_null_propagation;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "filter + project" `Quick test_filter_project;
+          Alcotest.test_case "sort stability/direction" `Quick test_sort_stability_and_direction;
+          Alcotest.test_case "limit + distinct" `Quick test_limit_distinct;
+          Alcotest.test_case "nested-loop join" `Quick test_nested_loop_join;
+          Alcotest.test_case "grouped aggregation" `Quick test_aggregate_groups;
+          Alcotest.test_case "aggregate over empty input" `Quick test_aggregate_empty_input;
+          Alcotest.test_case "group-by over empty input" `Quick test_aggregate_empty_groups;
+          Alcotest.test_case "LIKE matching" `Quick test_like;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+(* Recovery (§4.4) and garbage collection (§5.4): multi-PN crashes,
+   recovery idempotence, the transaction-log checkpoint, eager and lazy
+   version GC, and index-entry GC. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run engine ~until:120_000_000_000 ();
+  match !result with Some r -> r | None -> Alcotest.fail "did not finish"
+
+let make_db engine =
+  let kv_config =
+    { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 1 }
+  in
+  Database.create engine ~kv_config ()
+
+let setup_rows pn n =
+  ignore (Database.exec pn "CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))");
+  for i = 1 to n do
+    ignore (Database.exec pn (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" i i))
+  done
+
+let rid_of pn ~id =
+  Database.with_txn pn (fun txn ->
+      match Txn.index_lookup txn ~index:"pk_t" ~key:(Codec.encode_key [ Value.Int id ]) with
+      | [ rid ] -> rid
+      | _ -> Alcotest.fail "pk lookup")
+
+(* Walk a transaction into the applied-but-unflagged state by hand (the
+   state a PN crash leaves behind mid-commit). *)
+let wedge_transaction pn ~rid ~value =
+  let txn = Txn.begin_txn pn in
+  let entry =
+    {
+      Txlog.tid = Txn.tid txn;
+      pn_id = Pn.id pn;
+      timestamp = 0;
+      write_set = [ Keys.record ~table:"t" ~rid ];
+      committed = false;
+    }
+  in
+  Txlog.append (Pn.kv pn) entry;
+  let key = Keys.record ~table:"t" ~rid in
+  (match Kv.Client.get (Pn.kv pn) key with
+  | Some (data, token) ->
+      let record =
+        Record.add_version (Record.decode data) ~version:(Txn.tid txn)
+          (Record.Tuple [| Value.Int rid; Value.Int value |])
+      in
+      (match Kv.Client.put_if (Pn.kv pn) key (Some token) (Record.encode record) with
+      | `Ok _ -> ()
+      | `Conflict -> Alcotest.fail "wedge apply failed")
+  | None -> Alcotest.fail "record missing")
+
+let test_multi_pn_recovery () =
+  run_sim (fun _engine ->
+      let db = make_db _engine in
+      let pn1 = Database.add_pn db () in
+      let pn2 = Database.add_pn db () in
+      let pn3 = Database.add_pn db () in
+      setup_rows pn1 10;
+      let rid4 = rid_of pn1 ~id:4 and rid7 = rid_of pn2 ~id:7 in
+      wedge_transaction pn1 ~rid:rid4 ~value:444;
+      wedge_transaction pn2 ~rid:rid7 ~value:777;
+      Database.crash_pn db pn1;
+      Database.crash_pn db pn2;
+      (* One recovery process handles both failed nodes (§4.4.1). *)
+      Alcotest.(check int) "two transactions rolled back" 2 (Database.recover_crashed_pns db);
+      List.iter
+        (fun id ->
+          match Database.exec pn3 (Printf.sprintf "SELECT v FROM t WHERE id = %d" id) with
+          | Sql_plan.Rows { rows = [ [| Value.Int v |] ]; _ } ->
+              Alcotest.(check int) (Printf.sprintf "row %d restored" id) id v
+          | _ -> Alcotest.fail "read failed")
+        [ 4; 7 ];
+      (* Idempotence: running recovery again finds nothing. *)
+      Alcotest.(check int) "nothing left to recover" 0 (Database.recover_crashed_pns db))
+
+let test_committed_txns_survive_recovery () =
+  run_sim (fun _engine ->
+      let db = make_db _engine in
+      let pn1 = Database.add_pn db () in
+      let pn2 = Database.add_pn db () in
+      setup_rows pn1 5;
+      (* A properly committed transaction of pn1, then a crash: recovery
+         must NOT roll committed work back. *)
+      ignore (Database.exec pn1 "UPDATE t SET v = 1000 WHERE id = 2");
+      Database.crash_pn db pn1;
+      let _ = Database.recover_crashed_pns db in
+      match Database.exec pn2 "SELECT v FROM t WHERE id = 2" with
+      | Sql_plan.Rows { rows = [ [| Value.Int 1000 |] ]; _ } -> ()
+      | _ -> Alcotest.fail "committed update lost")
+
+let test_eager_gc_compacts () =
+  run_sim (fun _engine ->
+      let db = make_db _engine in
+      let pn = Database.add_pn db () in
+      setup_rows pn 3;
+      let rid = rid_of pn ~id:1 in
+      (* Many sequential updates: old versions must be collected along the
+         way (each write-back GCs versions below the lav). *)
+      for round = 1 to 30 do
+        ignore (Database.exec pn (Printf.sprintf "UPDATE t SET v = %d WHERE id = 1" round))
+      done;
+      match Database.with_txn pn (fun txn -> Txn.read_record txn ~table:"t" ~rid) with
+      | Some record ->
+          let n = List.length (Record.versions record) in
+          Alcotest.(check bool)
+            (Printf.sprintf "versions compacted (%d left)" n)
+            true (n <= 3)
+      | None -> Alcotest.fail "record missing")
+
+let test_lazy_gc_sweep () =
+  run_sim (fun engine ->
+      let db = make_db engine in
+      let pn = Database.add_pn db () in
+      setup_rows pn 3;
+      (* Updates while a long-running transaction pins the lav. *)
+      let pinner = Txn.begin_txn pn in
+      for round = 1 to 5 do
+        ignore (Database.exec pn (Printf.sprintf "UPDATE t SET v = %d WHERE id = 2" round))
+      done;
+      Txn.commit pinner;
+      (* Give the commit manager a moment, then sweep. *)
+      Sim.Engine.sleep engine 10_000_000;
+      let gc = Database.gc db in
+      Gc_task.run_once gc ~tables:(Database.tables db);
+      let stats = Gc_task.stats gc in
+      Alcotest.(check bool)
+        (Printf.sprintf "versions dropped (%d)" stats.versions_dropped)
+        true
+        (stats.versions_dropped > 0);
+      (* Data unchanged. *)
+      match Database.exec pn "SELECT v FROM t WHERE id = 2" with
+      | Sql_plan.Rows { rows = [ [| Value.Int 5 |] ]; _ } -> ()
+      | _ -> Alcotest.fail "GC changed visible data")
+
+let test_index_gc () =
+  run_sim (fun engine ->
+      let db = make_db engine in
+      let pn = Database.add_pn db () in
+      ignore (Database.exec pn "CREATE TABLE t (id INT, tag TEXT, PRIMARY KEY (id))");
+      ignore (Database.exec pn "CREATE INDEX idx_tag ON t (tag)");
+      ignore (Database.exec pn "INSERT INTO t VALUES (1, 'old'), (2, 'old'), (3, 'keep')");
+      (* Move both rows away from 'old': the stale index entries survive
+         (version-unaware index) until GC. *)
+      ignore (Database.exec pn "UPDATE t SET tag = 'new' WHERE id = 1");
+      ignore (Database.exec pn "UPDATE t SET tag = 'new' WHERE id = 2");
+      Sim.Engine.sleep engine 10_000_000;
+      let gc = Database.gc db in
+      Gc_task.run_once gc ~tables:(Database.tables db);
+      let stats = Gc_task.stats gc in
+      Alcotest.(check bool)
+        (Printf.sprintf "stale index entries dropped (%d)" stats.index_entries_dropped)
+        true
+        (stats.index_entries_dropped > 0);
+      (* Queries remain correct afterwards. *)
+      (match Database.exec pn "SELECT COUNT(*) FROM t WHERE tag = 'new'" with
+      | Sql_plan.Rows { rows = [ [| Value.Int 2 |] ]; _ } -> ()
+      | _ -> Alcotest.fail "post-GC query wrong");
+      match Database.exec pn "SELECT COUNT(*) FROM t WHERE tag = 'old'" with
+      | Sql_plan.Rows { rows = [ [| Value.Int 0 |] ]; _ } -> ()
+      | _ -> Alcotest.fail "old tag should be empty")
+
+let test_log_truncation () =
+  run_sim (fun _engine ->
+      let db = make_db _engine in
+      let pn = Database.add_pn db () in
+      setup_rows pn 10;
+      let before = List.length (Txlog.scan (Pn.kv pn) ~min_tid:0) in
+      Alcotest.(check bool) "log has entries" true (before > 5);
+      (* Everything is decided: the whole log below the lav can go. *)
+      let cm = List.nth (Database.commit_managers db) 0 in
+      Txlog.truncate_below (Pn.kv pn) ~min_tid:(Commit_manager.current_lav cm);
+      let after = List.length (Txlog.scan (Pn.kv pn) ~min_tid:0) in
+      Alcotest.(check bool)
+        (Printf.sprintf "log truncated (%d -> %d)" before after)
+        true (after < before))
+
+let () =
+  Alcotest.run "recovery_gc"
+    [
+      ( "recovery",
+        [
+          Alcotest.test_case "multi-PN crash recovery" `Quick test_multi_pn_recovery;
+          Alcotest.test_case "committed work survives" `Quick test_committed_txns_survive_recovery;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "eager version GC" `Quick test_eager_gc_compacts;
+          Alcotest.test_case "lazy GC sweep" `Quick test_lazy_gc_sweep;
+          Alcotest.test_case "index entry GC" `Quick test_index_gc;
+          Alcotest.test_case "log truncation" `Quick test_log_truncation;
+        ] );
+    ]

@@ -1,0 +1,126 @@
+(* The TPC-C workload generator: mix proportions, NURand ranges,
+   last-name construction, remote-access rates, and the shardable
+   variant's purity. *)
+
+module Rng = Tell_sim.Rng
+module Spec = Tell_tpcc.Spec
+
+let scale = Spec.sim_scale ~warehouses:10
+
+let sample_txns mix n =
+  let rng = Rng.make 42 in
+  List.init n (fun _ -> Spec.gen_txn rng ~scale ~mix ~home_w:3)
+
+let share pred txns =
+  100.0 *. float_of_int (List.length (List.filter pred txns)) /. float_of_int (List.length txns)
+
+let test_mix_proportions () =
+  let txns = sample_txns Spec.standard_mix 100_000 in
+  let close label expected actual =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s ~%.0f%% (got %.2f%%)" label expected actual)
+      true
+      (Float.abs (expected -. actual) < 1.0)
+  in
+  close "new-order" 45.0 (share (function Spec.New_order _ -> true | _ -> false) txns);
+  close "payment" 43.0 (share (function Spec.Payment _ -> true | _ -> false) txns);
+  close "delivery" 4.0 (share (function Spec.Delivery _ -> true | _ -> false) txns);
+  close "order-status" 4.0 (share (function Spec.Order_status _ -> true | _ -> false) txns);
+  close "stock-level" 4.0 (share (function Spec.Stock_level _ -> true | _ -> false) txns)
+
+let test_nurand_in_range () =
+  let rng = Rng.make 7 in
+  for _ = 1 to 50_000 do
+    let c = Spec.random_c_id rng ~scale in
+    Alcotest.(check bool) "c_id in range" true (c >= 1 && c <= scale.customers_per_district);
+    let i = Spec.random_i_id rng ~scale in
+    Alcotest.(check bool) "i_id in range" true (i >= 1 && i <= scale.items)
+  done
+
+let test_nurand_skew () =
+  (* NURand is non-uniform: the most popular decile must be hit clearly
+     more often than the least popular one. *)
+  let rng = Rng.make 9 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Spec.random_i_id rng ~scale in
+    let b = (i - 1) * 10 / scale.items in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let mx = Array.fold_left max 0 buckets and mn = Array.fold_left min max_int buckets in
+  Alcotest.(check bool)
+    (Printf.sprintf "skewed (max bucket %d, min bucket %d)" mx mn)
+    true
+    (float_of_int mx > 1.15 *. float_of_int mn)
+
+let test_last_names () =
+  Alcotest.(check string) "0" "BARBARBAR" (Spec.last_name 0);
+  Alcotest.(check string) "371" "PRICALLYOUGHT" (Spec.last_name 371);
+  Alcotest.(check string) "999" "EINGEINGEING" (Spec.last_name 999);
+  (* Generated names must exist in the (scaled) population. *)
+  let rng = Rng.make 3 in
+  for _ = 1 to 10_000 do
+    let name = Spec.random_last_name rng ~scale in
+    let found = ref false in
+    for c = 0 to min 999 (scale.customers_per_district - 1) do
+      if Spec.last_name c = name then found := true
+    done;
+    Alcotest.(check bool) ("name exists: " ^ name) true !found
+  done
+
+let test_remote_rates () =
+  let txns = sample_txns Spec.standard_mix 200_000 in
+  let remote_payment =
+    share
+      (function Spec.Payment p -> p.p_c_w_id <> p.p_w_id | _ -> false)
+      (List.filter (function Spec.Payment _ -> true | _ -> false) txns)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "~15%% remote payments (got %.2f%%)" remote_payment)
+    true
+    (Float.abs (remote_payment -. 15.0) < 1.5);
+  let remote_order_lines, total_lines =
+    List.fold_left
+      (fun (r, t) txn ->
+        match txn with
+        | Spec.New_order no ->
+            ( r + List.length (List.filter (fun (_, sw, _) -> sw <> no.no_w_id) no.items),
+              t + List.length no.items )
+        | _ -> (r, t))
+      (0, 0) txns
+  in
+  let pct = 100.0 *. float_of_int remote_order_lines /. float_of_int total_lines in
+  Alcotest.(check bool) (Printf.sprintf "~1%% remote order lines (got %.2f%%)" pct) true
+    (Float.abs (pct -. 1.0) < 0.3)
+
+let test_shardable_is_local () =
+  let txns = sample_txns Spec.shardable_mix 100_000 in
+  List.iter
+    (fun txn ->
+      match Tell_baselines.Tpcc_rows.warehouses_touched txn with
+      | [ _ ] -> ()
+      | whs -> Alcotest.failf "shardable txn touches %d warehouses" (List.length whs))
+    txns
+
+let test_invalid_item_rate () =
+  let txns = sample_txns Spec.standard_mix 200_000 in
+  let new_orders = List.filter (function Spec.New_order _ -> true | _ -> false) txns in
+  let pct = share (function Spec.New_order no -> no.invalid_item | _ -> false) new_orders in
+  Alcotest.(check bool) (Printf.sprintf "~1%% rollbacks (got %.2f%%)" pct) true
+    (Float.abs (pct -. 1.0) < 0.3)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "mix proportions" `Quick test_mix_proportions;
+          Alcotest.test_case "nurand ranges" `Quick test_nurand_in_range;
+          Alcotest.test_case "nurand skew" `Quick test_nurand_skew;
+          Alcotest.test_case "last names" `Quick test_last_names;
+          Alcotest.test_case "remote-access rates" `Quick test_remote_rates;
+          Alcotest.test_case "shardable mix is single-warehouse" `Quick test_shardable_is_local;
+          Alcotest.test_case "invalid-item rate" `Quick test_invalid_item_rate;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+(* Transaction-level semantics of distributed SI: the anomalies snapshot
+   isolation must prevent (lost update, dirty read, non-repeatable read,
+   phantom-ish re-reads), the one it famously allows (write skew — a
+   positive test documenting §4.1's limitation), and the bookkeeping
+   around read-your-writes, deletes, and inserts. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  let result = ref None in
+  Sim.Engine.spawn engine (fun () -> result := Some (f engine));
+  Sim.Engine.run engine ~until:60_000_000_000 ();
+  match !result with Some r -> r | None -> Alcotest.fail "did not finish"
+
+let make_pn engine =
+  let kv_config =
+    { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 1 }
+  in
+  let db = Database.create engine ~kv_config () in
+  (db, Database.add_pn db ())
+
+let setup pn rows =
+  ignore (Database.exec pn "CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))");
+  List.iter
+    (fun (id, v) -> ignore (Database.exec pn (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" id v)))
+    rows
+
+let rid_of pn id =
+  Database.with_txn pn (fun txn ->
+      match Txn.index_lookup txn ~index:"pk_t" ~key:(Codec.encode_key [ Value.Int id ]) with
+      | [ rid ] -> rid
+      | _ -> Alcotest.fail "pk lookup")
+
+let value_of pn id =
+  match Database.exec pn (Printf.sprintf "SELECT v FROM t WHERE id = %d" id) with
+  | Sql_plan.Rows { rows = [ [| Value.Int v |] ]; _ } -> v
+  | _ -> Alcotest.fail "read failed"
+
+let test_lost_update_prevented () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 100) ];
+      let rid = rid_of pn 1 in
+      (* Classic increment race: both read 100, both write 101; SI must
+         abort one so the final value reflects exactly one increment. *)
+      let attempt () =
+        let txn = Txn.begin_txn pn in
+        match Txn.read txn ~table:"t" ~rid with
+        | Some row ->
+            Txn.update txn ~table:"t" ~rid [| row.(0); Value.Int (Value.as_int row.(1) + 1) |];
+            (txn, true)
+        | None -> (txn, false)
+      in
+      let t1, _ = attempt () in
+      let t2, _ = attempt () in
+      let commits = ref 0 in
+      (try Txn.commit t1; incr commits with Txn.Conflict _ -> ());
+      (try Txn.commit t2; incr commits with Txn.Conflict _ -> ());
+      Alcotest.(check int) "exactly one increment survived" 1 !commits;
+      Alcotest.(check int) "value" 101 (value_of pn 1))
+
+let test_no_dirty_reads () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 10) ];
+      let rid = rid_of pn 1 in
+      let writer = Txn.begin_txn pn in
+      Txn.update writer ~table:"t" ~rid [| Value.Int 1; Value.Int 999 |];
+      (* The write is buffered on the PN: nobody else may see it. *)
+      Alcotest.(check int) "buffered write invisible" 10 (value_of pn 1);
+      Txn.abort writer;
+      Alcotest.(check int) "after abort still old" 10 (value_of pn 1))
+
+let test_repeatable_reads_under_churn () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 1); (2, 2); (3, 3) ];
+      let reader = Txn.begin_txn pn in
+      let sum () =
+        match Database.exec_in reader "SELECT SUM(v) FROM t" with
+        | Sql_plan.Rows { rows = [ [| v |] ]; _ } -> Value.as_int v
+        | _ -> Alcotest.fail "sum"
+      in
+      let s0 = sum () in
+      (* Concurrent committed churn: updates, an insert, and a delete. *)
+      ignore (Database.exec pn "UPDATE t SET v = 100 WHERE id = 1");
+      ignore (Database.exec pn "INSERT INTO t VALUES (4, 400)");
+      ignore (Database.exec pn "DELETE FROM t WHERE id = 3");
+      Alcotest.(check int) "same snapshot, same sum" s0 (sum ());
+      Txn.commit reader;
+      Alcotest.(check int) "fresh txn sees the churn" (100 + 2 + 400)
+        (Database.with_txn pn (fun txn ->
+             match Database.exec_in txn "SELECT SUM(v) FROM t" with
+             | Sql_plan.Rows { rows = [ [| v |] ]; _ } -> Value.as_int v
+             | _ -> Alcotest.fail "sum")))
+
+(* SI permits write skew (§4.1 notes serializable SI as future work):
+   two transactions read both rows, each updates a different one, both
+   commit.  This test documents the behaviour. *)
+let test_write_skew_allowed () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 50); (2, 50) ];
+      let rid1 = rid_of pn 1 and rid2 = rid_of pn 2 in
+      let t1 = Txn.begin_txn pn in
+      let t2 = Txn.begin_txn pn in
+      let read_both txn = (Txn.read txn ~table:"t" ~rid:rid1, Txn.read txn ~table:"t" ~rid:rid2) in
+      ignore (read_both t1);
+      ignore (read_both t2);
+      Txn.update t1 ~table:"t" ~rid:rid1 [| Value.Int 1; Value.Int 0 |];
+      Txn.update t2 ~table:"t" ~rid:rid2 [| Value.Int 2; Value.Int 0 |];
+      Txn.commit t1;
+      (match Txn.commit t2 with
+      | () -> ()
+      | exception Txn.Conflict _ -> Alcotest.fail "disjoint write sets must not conflict under SI");
+      Alcotest.(check int) "both zeroed (write skew)" 0 (value_of pn 1 + value_of pn 2))
+
+(* The same schedule as the write-skew test, under the serializable
+   extension: the second committer must now abort. *)
+let test_write_skew_prevented_serializable () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 50); (2, 50) ];
+      let rid1 = rid_of pn 1 and rid2 = rid_of pn 2 in
+      let t1 = Txn.begin_txn ~isolation:Txn.Serializable pn in
+      let t2 = Txn.begin_txn ~isolation:Txn.Serializable pn in
+      let read_both txn = (Txn.read txn ~table:"t" ~rid:rid1, Txn.read txn ~table:"t" ~rid:rid2) in
+      ignore (read_both t1);
+      ignore (read_both t2);
+      Txn.update t1 ~table:"t" ~rid:rid1 [| Value.Int 1; Value.Int 0 |];
+      Txn.update t2 ~table:"t" ~rid:rid2 [| Value.Int 2; Value.Int 0 |];
+      let commits = ref 0 in
+      (try Txn.commit t1; incr commits with Txn.Conflict _ -> ());
+      (try Txn.commit t2; incr commits with Txn.Conflict _ -> ());
+      Alcotest.(check int) "exactly one commits (write skew prevented)" 1 !commits;
+      Alcotest.(check int) "invariant x + y >= 50 preserved" 50 (value_of pn 1 + value_of pn 2);
+      (* Non-conflicting serializable transactions still commit freely. *)
+      let t3 = Txn.begin_txn ~isolation:Txn.Serializable pn in
+      (match Txn.read t3 ~table:"t" ~rid:rid1 with
+      | Some row -> Txn.update t3 ~table:"t" ~rid:rid1 [| row.(0); Value.Int 7 |]
+      | None -> Alcotest.fail "read failed");
+      Txn.commit t3;
+      Alcotest.(check int) "serializable commit applied" 7 (value_of pn 1))
+
+let test_serializable_validation_rolls_back () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 10); (2, 20) ];
+      let rid1 = rid_of pn 1 and rid2 = rid_of pn 2 in
+      (* t reads row 2, writes row 1; a concurrent committed update to
+         row 2 must abort t and leave no trace of its write to row 1. *)
+      let t = Txn.begin_txn ~isolation:Txn.Serializable pn in
+      ignore (Txn.read t ~table:"t" ~rid:rid2);
+      Txn.update t ~table:"t" ~rid:rid1 [| Value.Int 1; Value.Int 111 |];
+      ignore (Database.exec pn "UPDATE t SET v = 999 WHERE id = 2");
+      (match Txn.commit t with
+      | () -> Alcotest.fail "stale read must fail serializable validation"
+      | exception Txn.Conflict _ -> ());
+      Alcotest.(check int) "write rolled back" 10 (value_of pn 1))
+
+let test_read_your_writes () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 10) ];
+      Database.with_txn pn (fun txn ->
+          ignore (Database.exec_in txn "UPDATE t SET v = 20 WHERE id = 1");
+          (match Database.exec_in txn "SELECT v FROM t WHERE id = 1" with
+          | Sql_plan.Rows { rows = [ [| Value.Int 20 |] ]; _ } -> ()
+          | _ -> Alcotest.fail "own update not visible");
+          ignore (Database.exec_in txn "INSERT INTO t VALUES (9, 90)");
+          (match Database.exec_in txn "SELECT COUNT(*) FROM t" with
+          | Sql_plan.Rows { rows = [ [| Value.Int 2 |] ]; _ } -> ()
+          | _ -> Alcotest.fail "own insert not visible in scan");
+          ignore (Database.exec_in txn "DELETE FROM t WHERE id = 1");
+          match Database.exec_in txn "SELECT COUNT(*) FROM t" with
+          | Sql_plan.Rows { rows = [ [| Value.Int 1 |] ]; _ } -> ()
+          | _ -> Alcotest.fail "own delete not visible"))
+
+let test_delete_insert_interplay () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 10) ];
+      ignore (Database.exec pn "DELETE FROM t WHERE id = 1");
+      Alcotest.(check int) "gone" 0
+        (match Database.exec pn "SELECT COUNT(*) FROM t" with
+        | Sql_plan.Rows { rows = [ [| Value.Int n |] ]; _ } -> n
+        | _ -> -1);
+      (* Re-insert under the same primary key (new rid underneath). *)
+      ignore (Database.exec pn "INSERT INTO t VALUES (1, 11)");
+      Alcotest.(check int) "re-inserted" 11 (value_of pn 1))
+
+let test_concurrent_delete_update_conflict () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 10) ];
+      let rid = rid_of pn 1 in
+      let deleter = Txn.begin_txn pn in
+      let updater = Txn.begin_txn pn in
+      Txn.delete deleter ~table:"t" ~rid;
+      Txn.update updater ~table:"t" ~rid [| Value.Int 1; Value.Int 42 |];
+      Txn.commit deleter;
+      (match Txn.commit updater with
+      | () -> Alcotest.fail "update over a concurrent delete must conflict"
+      | exception Txn.Conflict _ -> ());
+      Alcotest.(check int) "row deleted" 0
+        (match Database.exec pn "SELECT COUNT(*) FROM t" with
+        | Sql_plan.Rows { rows = [ [| Value.Int n |] ]; _ } -> n
+        | _ -> -1))
+
+let test_finished_txn_rejects_ops () =
+  run_sim (fun engine ->
+      let _, pn = make_pn engine in
+      setup pn [ (1, 10) ];
+      let rid = rid_of pn 1 in
+      let txn = Txn.begin_txn pn in
+      Txn.commit txn;
+      (match Txn.read txn ~table:"t" ~rid with
+      | _ -> Alcotest.fail "read after commit must raise"
+      | exception Txn.Finished -> ());
+      match Txn.commit txn with
+      | _ -> Alcotest.fail "double commit must raise"
+      | exception Txn.Finished -> ())
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "isolation",
+        [
+          Alcotest.test_case "lost update prevented" `Quick test_lost_update_prevented;
+          Alcotest.test_case "no dirty reads" `Quick test_no_dirty_reads;
+          Alcotest.test_case "repeatable reads under churn" `Quick test_repeatable_reads_under_churn;
+          Alcotest.test_case "write skew allowed (SI)" `Quick test_write_skew_allowed;
+          Alcotest.test_case "write skew prevented (serializable)" `Quick
+            test_write_skew_prevented_serializable;
+          Alcotest.test_case "serializable validation rollback" `Quick
+            test_serializable_validation_rolls_back;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "read your writes" `Quick test_read_your_writes;
+          Alcotest.test_case "delete/insert interplay" `Quick test_delete_insert_interplay;
+          Alcotest.test_case "delete vs update conflict" `Quick test_concurrent_delete_update_conflict;
+          Alcotest.test_case "finished txn rejects ops" `Quick test_finished_txn_rejects_ops;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+(* Property tests for the snapshot-descriptor algebra (§4.2, §5.5). *)
+
+open Tell_core
+
+(* A version set built from a base and a few sparse members above it. *)
+let vs_gen =
+  QCheck.Gen.(
+    let* base = int_range 0 50 in
+    let* extras = list_size (int_range 0 10) (int_range 1 30) in
+    return (List.fold_left (fun acc d -> Version_set.add acc (Version_set.base acc + d)) (Version_set.of_base base) extras))
+
+let vs_arb = QCheck.make ~print:(Fmt.to_to_string Version_set.pp) vs_gen
+
+let members vs =
+  List.init (Version_set.max_elt vs + 2) (fun i -> i)
+  |> List.filter (Version_set.mem vs)
+
+let test_add_mem =
+  QCheck.Test.make ~name:"add makes member" ~count:500
+    QCheck.(pair vs_arb (int_range 0 100))
+    (fun (vs, x) -> Version_set.mem (Version_set.add vs x) x)
+
+let test_add_preserves =
+  QCheck.Test.make ~name:"add preserves existing members" ~count:500
+    QCheck.(pair vs_arb (int_range 0 100))
+    (fun (vs, x) ->
+      let vs' = Version_set.add vs x in
+      List.for_all (Version_set.mem vs') (members vs))
+
+let test_base_is_downward_closed =
+  QCheck.Test.make ~name:"everything up to the base is a member" ~count:200 vs_arb (fun vs ->
+      let b = Version_set.base vs in
+      List.for_all (Version_set.mem vs) (List.init (b + 1) (fun i -> i)))
+
+let test_normalization =
+  QCheck.Test.make ~name:"contiguous members above base are folded into it" ~count:200
+    QCheck.(int_range 0 20)
+    (fun base ->
+      let vs = Version_set.of_base base in
+      let vs = Version_set.add vs (base + 1) in
+      let vs = Version_set.add vs (base + 2) in
+      Version_set.base vs = base + 2 && Version_set.cardinal_above vs = 0)
+
+let test_union_is_lub =
+  QCheck.Test.make ~name:"union contains both operands' members" ~count:300
+    QCheck.(pair vs_arb vs_arb)
+    (fun (a, b) ->
+      let u = Version_set.union a b in
+      List.for_all (Version_set.mem u) (members a)
+      && List.for_all (Version_set.mem u) (members b)
+      && Version_set.subset a u && Version_set.subset b u)
+
+let test_subset_semantics =
+  QCheck.Test.make ~name:"subset agrees with member-wise inclusion" ~count:500
+    QCheck.(pair vs_arb vs_arb)
+    (fun (a, b) ->
+      Version_set.subset a b = List.for_all (Version_set.mem b) (members a))
+
+let test_codec_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round trip" ~count:300 vs_arb (fun vs ->
+      Version_set.equal vs (Version_set.decode (Version_set.encode vs)))
+
+let test_equal_reflexive =
+  QCheck.Test.make ~name:"equal is reflexive, subset both ways" ~count:200
+    QCheck.(pair vs_arb vs_arb)
+    (fun (a, b) ->
+      Version_set.equal a b = (Version_set.subset a b && Version_set.subset b a))
+
+let () =
+  Alcotest.run "version_set"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            test_add_mem;
+            test_add_preserves;
+            test_base_is_downward_closed;
+            test_normalization;
+            test_union_is_lub;
+            test_subset_semantics;
+            test_codec_roundtrip;
+            test_equal_reflexive;
+          ] );
+    ]

@@ -1,0 +1,20 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The gate CI runs: everything compiles and all test suites pass.
+check:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bin/tell_bench.exe -- tell --pns 4 --rf 3
+
+clean:
+	dune clean

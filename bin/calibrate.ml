@@ -65,6 +65,22 @@ let () =
     fdb "9n std" { fbase with f_nodes = 9 }
   end
 
+(* Notifier flush-window sweep (DESIGN.md §3b): the window must be short
+   enough that the delayed decided-set does not move the abort rate, and
+   long enough to coalesce concurrent committers' outcomes. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "notify" then begin
+    let base =
+      { Scenarios.default_tell with warehouses = 16; measure_ns = 300_000_000; n_pns = 4; rf = 3 }
+    in
+    List.iter
+      (fun window ->
+        tell
+          (Printf.sprintf "4pn rf3 window=%dus" (window / 1_000))
+          { base with notify_flush_window_ns = window })
+      [ 25_000; 50_000; 100_000; 200_000; 400_000; 1_000_000 ]
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "cmp128" then begin
     let base = { Scenarios.default_tell with warehouses = 128; measure_ns = 300_000_000; n_cms = 2 } in

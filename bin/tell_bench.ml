@@ -26,6 +26,65 @@ let print_outcome label cores = function
         r.committed r.user_aborts
   | Scenarios.Out_of_memory -> Printf.printf "%s: storage out of memory\n" label
 
+(* Commit-pipeline instrumentation: per-phase latency breakdown, client
+   batching ratio, and store requests per committed new-order. *)
+let requests_per_new_order (detail : Scenarios.tell_detail) = function
+  | Scenarios.Report r when r.Tpcc.Driver.new_order_commits > 0 ->
+      Some (float_of_int detail.d_requests /. float_of_int r.Tpcc.Driver.new_order_commits)
+  | _ -> None
+
+let print_detail (detail : Scenarios.tell_detail) outcome =
+  Printf.printf "  commit pipeline (per txn phase):\n";
+  List.iter
+    (fun (name, hist, ops) ->
+      Printf.printf "    %-7s n=%-8d mean=%8.1f us  TP99=%8.1f us  ops=%d\n" name
+        (Tell_sim.Stats.Histogram.count hist)
+        (Tell_sim.Stats.Histogram.mean hist /. 1e3)
+        (float_of_int (Tell_sim.Stats.Histogram.percentile hist 99.0) /. 1e3)
+        ops)
+    detail.d_phases;
+  Printf.printf "  store traffic: %d requests, %d ops (batching %.2f ops/request)\n"
+    detail.d_requests detail.d_ops
+    (if detail.d_requests = 0 then 0.0
+     else float_of_int detail.d_ops /. float_of_int detail.d_requests);
+  match requests_per_new_order detail outcome with
+  | Some per_no -> Printf.printf "  store requests per new-order: %.1f\n" per_no
+  | None -> ()
+
+let json_of_run c (detail : Scenarios.tell_detail) outcome =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"config\": {\"pns\": %d, \"sns\": %d, \"cms\": %d, \"rf\": %d, \"warehouses\": %d, \"seed\": %d},\n"
+    c.Scenarios.n_pns c.n_sns c.n_cms c.rf c.warehouses c.seed;
+  (match outcome with
+  | Scenarios.Report r ->
+      Printf.bprintf buf
+        "  \"tpmc\": %.1f,\n  \"tps\": %.1f,\n  \"abort_rate_pct\": %.3f,\n  \"committed\": %d,\n  \"new_order_commits\": %d,\n"
+        (Tpcc.Driver.tpmc r) (Tpcc.Driver.tps r) (Tpcc.Driver.abort_rate r) r.committed
+        r.new_order_commits
+  | Scenarios.Out_of_memory -> Buffer.add_string buf "  \"oom\": true,\n");
+  Printf.bprintf buf "  \"requests_sent\": %d,\n  \"ops_sent\": %d,\n" detail.d_requests detail.d_ops;
+  Printf.bprintf buf "  \"batching_ratio\": %.3f,\n"
+    (if detail.d_requests = 0 then 0.0
+     else float_of_int detail.d_ops /. float_of_int detail.d_requests);
+  (match requests_per_new_order detail outcome with
+  | Some per_no -> Printf.bprintf buf "  \"requests_per_new_order\": %.2f,\n" per_no
+  | None -> ());
+  Buffer.add_string buf "  \"commit_phases\": {\n";
+  let n_phases = List.length detail.d_phases in
+  List.iteri
+    (fun i (name, hist, ops) ->
+      Printf.bprintf buf
+        "    \"%s\": {\"count\": %d, \"mean_us\": %.2f, \"p99_us\": %.2f, \"ops\": %d}%s\n" name
+        (Tell_sim.Stats.Histogram.count hist)
+        (Tell_sim.Stats.Histogram.mean hist /. 1e3)
+        (float_of_int (Tell_sim.Stats.Histogram.percentile hist 99.0) /. 1e3)
+        ops
+        (if i < n_phases - 1 then "," else ""))
+    detail.d_phases;
+  Buffer.add_string buf "  }\n}\n";
+  Buffer.contents buf
+
 (* Shared options *)
 let mix_arg =
   Arg.(value & opt string "standard" & info [ "mix" ] ~doc:"Workload mix: standard|read|shardable")
@@ -36,7 +95,7 @@ let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic sim
 
 (* tell subcommand *)
 let tell_cmd =
-  let run pns sns cms rf threads net buffer mix warehouses measure seed =
+  let run pns sns cms rf threads net buffer mix warehouses measure seed json =
     let net =
       match Tell_sim.Net.profile_of_string net with
       | Some p -> p
@@ -66,7 +125,16 @@ let tell_cmd =
         seed;
       }
     in
-    print_outcome "tell" (Scenarios.tell_cores c) (Scenarios.run_tell c)
+    let outcome, detail = Scenarios.run_tell_detailed c in
+    print_outcome "tell" (Scenarios.tell_cores c) outcome;
+    print_detail detail outcome;
+    Option.iter
+      (fun path ->
+        let oc = open_out path in
+        output_string oc (json_of_run c detail outcome);
+        close_out oc;
+        Printf.printf "  wrote %s\n" path)
+      json
   in
   let pns = Arg.(value & opt int 4 & info [ "pns" ] ~doc:"Processing nodes") in
   let sns = Arg.(value & opt int 7 & info [ "sns" ] ~doc:"Storage nodes") in
@@ -75,10 +143,13 @@ let tell_cmd =
   let threads = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Worker threads per PN") in
   let net = Arg.(value & opt string "infiniband" & info [ "net" ] ~doc:"infiniband|ethernet") in
   let buffer = Arg.(value & opt string "tb" & info [ "buffer" ] ~doc:"TB|SB|SBVS10|SBVS1000") in
+  let json =
+    Arg.(value & opt (some string) None & info [ "json" ] ~doc:"Write a machine-readable run summary to $(docv)" ~docv:"FILE")
+  in
   Cmd.v (Cmd.info "tell" ~doc:"Run TPC-C on the Tell shared-data database")
     Term.(
       const run $ pns $ sns $ cms $ rf $ threads $ net $ buffer $ mix_arg $ warehouses_arg
-      $ measure_arg $ seed_arg)
+      $ measure_arg $ seed_arg $ json)
 
 (* voltdb subcommand *)
 let voltdb_cmd =

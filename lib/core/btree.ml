@@ -12,7 +12,13 @@ type entry = string * int
 
 type node =
   | Leaf of { entries : entry array; high_key : entry option; next : int option }
-  | Inner of { seps : entry array; children : int array; high_key : entry option; next : int option }
+  | Inner of {
+      seps : entry array;
+      children : int array;
+      high_key : entry option;
+      next : int option;
+      level : int;  (* leaves are level 0; the root is the highest level *)
+    }
 
 type t = {
   kv : Kv.Client.t;
@@ -70,13 +76,14 @@ let encode_node node =
       put_opt_int buf next;
       Codec.put_int buf (Array.length entries);
       Array.iter (put_entry buf) entries
-  | Inner { seps; children; high_key; next } ->
+  | Inner { seps; children; high_key; next; level } ->
       Buffer.add_char buf 'I';
       put_opt_entry buf high_key;
       put_opt_int buf next;
       Codec.put_int buf (Array.length seps);
       Array.iter (put_entry buf) seps;
-      Array.iter (Codec.put_int buf) children);
+      Array.iter (Codec.put_int buf) children;
+      Codec.put_int buf level);
   Buffer.contents buf
 
 let decode_node s =
@@ -108,7 +115,8 @@ let decode_node s =
             pos := p;
             c)
       in
-      Inner { seps; children; high_key; next }
+      let level, _ = Codec.get_int s !pos in
+      Inner { seps; children; high_key; next; level }
   | c -> invalid_arg (Printf.sprintf "Btree.decode_node: bad tag %C" c)
 
 (* --- store access ----------------------------------------------------------- *)
@@ -208,23 +216,29 @@ let load_inner_cached t id =
    and restarts from a fresh root. *)
 let rec descend t key =
   try
+    let fetch_leaf id path =
+      (* Leaves are never served from cache: fetch fresh. *)
+      let node, token = load_node t id in
+      match node with
+      | Leaf _ -> (id, node, token, path)
+      | Inner _ ->
+          (* The node became inner through a concurrent reorganisation. *)
+          raise Retry
+    in
     let rec walk id path =
       match load_inner_cached t id with
-      | Inner { seps; children; high_key; next } ->
+      | Inner { seps; children; high_key; next; level } ->
           if not (below_high key high_key) then begin
             match next with
             | Some n -> walk n path
             | None -> raise Retry
           end
-          else walk (child_for_key seps children key) (id :: path)
-      | Leaf _ ->
-          (* Leaves are never served from cache: fetch fresh. *)
-          let node, token = load_node t id in
-          (match node with
-          | Leaf _ -> (id, node, token, path)
-          | Inner _ ->
-              (* The node became inner through a concurrent reorganisation. *)
-              raise Retry)
+          else
+            let child = child_for_key seps children key in
+            (* Level 1 parents point straight at leaves: no need to load
+               the child just to learn it is one. *)
+            if level = 1 then fetch_leaf child (id :: path) else walk child (id :: path)
+      | Leaf _ -> fetch_leaf id path
     in
     walk (root_id t) []
   with Retry ->
@@ -272,7 +286,7 @@ let split_point n = n / 2
 
 (* Insert separator [sep] (pointing at [right_id]) into the parent level.
    [path] is the remaining ancestor chain, nearest parent first. *)
-let rec insert_sep t ~attempts ~sep ~right_id path =
+let rec insert_sep t ~attempts ~child_level ~sep ~right_id path =
   if attempts <= 0 then invalid_arg "Btree.insert_sep: too many conflicts";
   match path with
   | [] ->
@@ -280,7 +294,14 @@ let rec insert_sep t ~attempts ~sep ~right_id path =
       let old_root = root_id t in
       let new_root =
         store_new_node t
-          (Inner { seps = [| sep |]; children = [| old_root; right_id |]; high_key = None; next = None })
+          (Inner
+             {
+               seps = [| sep |];
+               children = [| old_root; right_id |];
+               high_key = None;
+               next = None;
+               level = child_level + 1;
+             })
       in
       (match Kv.Client.get t.kv (root_key t) with
       | Some (data, token) ->
@@ -289,13 +310,13 @@ let rec insert_sep t ~attempts ~sep ~right_id path =
             (* Someone else already grew the tree: retry from scratch. *)
             drop_node t new_root;
             invalidate_cache t;
-            insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (ancestors_of t sep)
+            insert_sep t ~attempts:(attempts - 1) ~child_level ~sep ~right_id (ancestors_of t sep)
           end
           else if Kv.Client.put_if t.kv (root_key t) (Some token) (encode_root new_root) = `Conflict
           then begin
             drop_node t new_root;
             invalidate_cache t;
-            insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (ancestors_of t sep)
+            insert_sep t ~attempts:(attempts - 1) ~child_level ~sep ~right_id (ancestors_of t sep)
           end
           else invalidate_cache t
       | None -> invalid_arg "Btree: root pointer vanished")
@@ -308,8 +329,8 @@ let rec insert_sep t ~attempts ~sep ~right_id path =
       with
       | exception Retry ->
           invalidate_cache t;
-          insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (ancestors_of t sep)
-      | id, Inner { seps; children; high_key; next }, token ->
+          insert_sep t ~attempts:(attempts - 1) ~child_level ~sep ~right_id (ancestors_of t sep)
+      | id, Inner { seps; children; high_key; next; level }, token ->
           if Array.exists (fun s -> s = sep) seps then ()
           else begin
             let pos =
@@ -328,9 +349,11 @@ let rec insert_sep t ~attempts ~sep ~right_id path =
                 ]
             in
             if Array.length seps' <= max_inner_entries then begin
-              if cas_node t id ~token (Inner { seps = seps'; children = children'; high_key; next })
+              if
+                cas_node t id ~token
+                  (Inner { seps = seps'; children = children'; high_key; next; level })
               then Hashtbl.remove t.inner_cache id
-              else insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (id :: rest)
+              else insert_sep t ~attempts:(attempts - 1) ~child_level ~sep ~right_id (id :: rest)
             end
             else begin
               (* Split this inner node, then recurse one level up. *)
@@ -342,18 +365,26 @@ let rec insert_sep t ~attempts ~sep ~right_id path =
               let right_children = Array.sub children' (mid + 1) (Array.length children' - mid - 1) in
               let new_right =
                 store_new_node t
-                  (Inner { seps = right_seps; children = right_children; high_key; next })
+                  (Inner { seps = right_seps; children = right_children; high_key; next; level })
               in
               let left =
-                Inner { seps = left_seps; children = left_children; high_key = Some up_sep; next = Some new_right }
+                Inner
+                  {
+                    seps = left_seps;
+                    children = left_children;
+                    high_key = Some up_sep;
+                    next = Some new_right;
+                    level;
+                  }
               in
               if cas_node t id ~token left then begin
                 Hashtbl.remove t.inner_cache id;
-                insert_sep t ~attempts:(attempts - 1) ~sep:up_sep ~right_id:new_right rest
+                insert_sep t ~attempts:(attempts - 1) ~child_level:level ~sep:up_sep
+                  ~right_id:new_right rest
               end
               else begin
                 drop_node t new_right;
-                insert_sep t ~attempts:(attempts - 1) ~sep ~right_id (id :: rest)
+                insert_sep t ~attempts:(attempts - 1) ~child_level ~sep ~right_id (id :: rest)
               end
             end
           end
@@ -381,7 +412,8 @@ let rec insert_aux t ~attempts ~key ~rid =
         let sep = right_entries.(0) in
         let right_id = store_new_node t (Leaf { entries = right_entries; high_key; next }) in
         let left = Leaf { entries = Array.sub entries' 0 mid; high_key = Some sep; next = Some right_id } in
-        if cas_node t id ~token left then insert_sep t ~attempts:max_attempts ~sep ~right_id path
+        if cas_node t id ~token left then
+          insert_sep t ~attempts:max_attempts ~child_level:0 ~sep ~right_id path
         else begin
           drop_node t right_id;
           insert_aux t ~attempts:(attempts - 1) ~key ~rid
@@ -445,11 +477,15 @@ let lookup t ~key =
    levels are fetched at most once each, §5.3.1). *)
 let rec leaf_id_for t target id =
   match load_inner_cached t id with
-  | Inner { seps; children; high_key; next } ->
+  | Inner { seps; children; high_key; next; level } ->
       if not (below_high target high_key) then begin
         match next with Some n -> leaf_id_for t target n | None -> raise Retry
       end
-      else leaf_id_for t target (child_for_key seps children target)
+      else
+        let child = child_for_key seps children target in
+        (* Level 1 parents point straight at leaves: route without
+           fetching the leaf (the caller batch-fetches it). *)
+        if level = 1 then child else leaf_id_for t target child
   | Leaf _ -> id
 
 let lookup_many t ~keys =
@@ -507,6 +543,197 @@ let lookup_many t ~keys =
           (key, lookup t ~key))
     routed
 
+(* --- batched maintenance ------------------------------------------------------ *)
+
+(* Batched inserts/removals (Â§5.1 batching applied to index maintenance):
+   route every entry through the cached inner levels, fetch all target
+   leaves with one multi-get, apply one LL/SC conditional write per leaf,
+   and retry only the entries whose leaf went stale, conflicted, or would
+   split.  Groups for several trees attached to the same store client
+   share the two batched round trips, so a commit touching N index
+   entries across K trees costs ~2 round trips instead of N full
+   traversals.  A leaf that overflows is split in place (all of the
+   batch's entries installed across the two halves at once); the cached
+   inner path is only invalidated when routing was actually stale, never
+   on a plain store-conditional conflict. *)
+
+type batch_op = Add of entry | Del of entry
+
+let batch_target = function Add e | Del e -> e
+
+let apply_single t = function
+  | Add (key, rid) -> insert_aux t ~attempts:max_attempts ~key ~rid
+  | Del (key, rid) -> remove_aux t ~attempts:max_attempts ~key ~rid
+
+let apply_ops_to_entries entries ops =
+  List.fold_left
+    (fun es op ->
+      match op with
+      | Add (key, rid) -> insert_entry es key rid
+      | Del (key, rid) -> remove_entry es key rid)
+    entries ops
+
+let memo_node t id ~data ~token =
+  match Hashtbl.find_opt t.decoded id with
+  | Some (cached_token, node) when cached_token = token -> node
+  | _ ->
+      let node = decode_node data in
+      Hashtbl.replace t.decoded id (token, node);
+      node
+
+(* Split an overflowing leaf, installing all merged entries at once: CAS
+   the left half over the old cell, store the right half as a fresh node,
+   and push the separator into the ancestors.  Returns [false] when the
+   CAS lost (the caller re-routes the batch). *)
+let split_leaf t id ~token entries' ~high_key ~next =
+  let mid = split_point (Array.length entries') in
+  let right_entries = Array.sub entries' mid (Array.length entries' - mid) in
+  let sep = right_entries.(0) in
+  let right_id = store_new_node t (Leaf { entries = right_entries; high_key; next }) in
+  let left =
+    Leaf { entries = Array.sub entries' 0 mid; high_key = Some sep; next = Some right_id }
+  in
+  Hashtbl.remove t.decoded id;
+  if cas_node t id ~token left then begin
+    insert_sep t ~attempts:max_attempts ~child_level:0 ~sep ~right_id (ancestors_of t sep);
+    true
+  end
+  else begin
+    drop_node t right_id;
+    false
+  end
+
+let batch_rounds = 4
+
+let shared_kv = function
+  | [] -> None
+  | (t, _) :: rest ->
+      List.iter
+        (fun (t', _) ->
+          if t'.kv != t.kv then invalid_arg "Btree: batched groups must share one store client")
+        rest;
+      Some t.kv
+
+let rec batch_round ~rounds groups =
+  match List.filter (fun (_, ops) -> ops <> []) groups with
+  | [] -> ()
+  | groups when rounds <= 0 ->
+      List.iter (fun (t, ops) -> List.iter (apply_single t) ops) groups
+  | groups -> (
+      match shared_kv groups with
+      | None -> ()
+      | Some kv ->
+          (* Route every op to a leaf through the cached inner levels; a
+             routing failure marks the tree's cached path as stale. *)
+          let work =
+            List.map
+              (fun (t, ops) ->
+                let by_leaf = Hashtbl.create 8 in
+                let miss = ref [] in
+                List.iter
+                  (fun op ->
+                    match leaf_id_for t (batch_target op) (root_id t) with
+                    | id ->
+                        Hashtbl.replace by_leaf id
+                          (op :: Option.value ~default:[] (Hashtbl.find_opt by_leaf id))
+                    | exception Retry -> miss := op :: !miss)
+                  ops;
+                let retry = ref (List.rev !miss) in
+                let stale = ref (!miss <> []) in
+                (t, by_leaf, retry, stale))
+              groups
+          in
+          (* One multi-get for every target leaf of every tree. *)
+          let items =
+            List.concat_map
+              (fun (t, by_leaf, retry, stale) ->
+                Hashtbl.fold
+                  (fun id ops acc -> (t, id, List.rev ops, retry, stale) :: acc)
+                  by_leaf [])
+              work
+          in
+          let cells = Kv.Client.multi_get kv (List.map (fun (t, id, _, _, _) -> node_key t id) items) in
+          let cas_jobs = ref [] in
+          let split_jobs = ref [] in
+          List.iter2
+            (fun (t, id, leaf_ops, retry, stale) cell ->
+              match cell with
+              | None ->
+                  stale := true;
+                  retry := !retry @ leaf_ops
+              | Some (data, token) -> (
+                  match memo_node t id ~data ~token with
+                  | Inner _ ->
+                      stale := true;
+                      retry := !retry @ leaf_ops
+                  | Leaf { entries; high_key; next } ->
+                      (* The routed leaf may have split since the cache
+                         was filled: ops beyond its high key belong to a
+                         right sibling and must be re-routed. *)
+                      let fits, beyond =
+                        List.partition (fun op -> below_high (batch_target op) high_key) leaf_ops
+                      in
+                      if beyond <> [] then begin
+                        stale := true;
+                        retry := !retry @ beyond
+                      end;
+                      if fits <> [] then begin
+                        let entries' = apply_ops_to_entries entries fits in
+                        if entries' == entries || entries' = entries then ()
+                        else if Array.length entries' <= max_leaf_entries then
+                          cas_jobs :=
+                            ( t, id, fits,
+                              Leaf { entries = entries'; high_key; next },
+                              Kv.Op.Put_if
+                                ( node_key t id, Some token,
+                                  encode_node (Leaf { entries = entries'; high_key; next }) ) )
+                            :: !cas_jobs
+                        else if Array.length entries' <= 2 * max_leaf_entries then
+                          split_jobs := (t, id, token, entries', high_key, next, fits, retry) :: !split_jobs
+                        else
+                          (* A degenerate bulk load into one leaf: the
+                             per-entry path splits as often as needed. *)
+                          List.iter (apply_single t) fits
+                      end))
+            items cells;
+          (* One conditional multi-write covering every tree's leaves. *)
+          (match List.rev !cas_jobs with
+          | [] -> ()
+          | jobs ->
+              let results = Kv.Client.multi_write kv (List.map (fun (_, _, _, _, op) -> op) jobs) in
+              List.iter2
+                (fun (t, id, leaf_ops, node', _) result ->
+                  match result with
+                  | Kv.Op.Token token -> Hashtbl.replace t.decoded id (token, node')
+                  | _ ->
+                      (* Lost the LL/SC race: the routing is usually still
+                         valid, so only the leaf is re-fetched next round. *)
+                      Hashtbl.remove t.decoded id;
+                      let retry =
+                        let (_, _, _, r, _) =
+                          List.find (fun (t', id', _, _, _) -> t' == t && id' = id) items
+                        in
+                        r
+                      in
+                      retry := !retry @ leaf_ops)
+                jobs results);
+          List.iter
+            (fun (t, id, token, entries', high_key, next, fits, retry) ->
+              if not (split_leaf t id ~token entries' ~high_key ~next) then retry := !retry @ fits)
+            (List.rev !split_jobs);
+          List.iter (fun (t, _, _, stale) -> if !stale then invalidate_cache t) work;
+          batch_round ~rounds:(rounds - 1)
+            (List.map (fun (t, _, retry, _) -> (t, !retry)) work))
+
+let insert_many_grouped groups =
+  batch_round ~rounds:batch_rounds
+    (List.map (fun (t, entries) -> (t, List.map (fun e -> Add e) entries)) groups)
+
+let insert_many t ~entries = insert_many_grouped [ (t, entries) ]
+
+let remove_many t ~entries =
+  batch_round ~rounds:batch_rounds [ (t, List.map (fun e -> Del e) entries) ]
+
 (* --- bulk construction --------------------------------------------------------- *)
 
 (* Chop [items] into chunks of at most [size], at least half-full where
@@ -552,7 +779,7 @@ let bulk_cells ~name ~entries =
     in
     link ids
   in
-  let rec build_inner children =
+  let rec build_inner ~level children =
     (* children: (first entry, node id), in order. *)
     match children with
     | [] -> assert false
@@ -571,6 +798,7 @@ let bulk_cells ~name ~entries =
                      children = Array.of_list (List.map snd group);
                      high_key = None;
                      next = None;
+                     level;
                    });
               [ (first_of (List.map fst group), id) ]
           | (id, group) :: ((next_id_, next_group) :: _ as rest) ->
@@ -582,10 +810,11 @@ let bulk_cells ~name ~entries =
                      children = Array.of_list (List.map snd group);
                      high_key = Some (first_of (List.map fst next_group));
                      next = Some next_id_;
+                     level;
                    });
               (first_of (List.map fst group), id) :: link rest
         in
-        build_inner (link ids)
+        build_inner ~level:(level + 1) (link ids)
   in
   let root =
     match entries with
@@ -593,7 +822,7 @@ let bulk_cells ~name ~entries =
         let id = alloc () in
         emit id (Leaf { entries = [||]; high_key = None; next = None });
         id
-    | _ :: _ -> build_inner (build_leaves entries)
+    | _ :: _ -> build_inner ~level:1 (build_leaves entries)
   in
   let root_cell =
     let buf = Stdlib.Buffer.create 8 in
@@ -608,10 +837,11 @@ let bulk_cells ~name ~entries =
 (* --- invariants (test hook) --------------------------------------------------- *)
 
 let check_invariants t =
-  let rec check_node id ~lo ~hi =
+  let rec check_node id ~lo ~hi ~depth =
     let node, _ = load_node t id in
     match node with
     | Leaf { entries; high_key; _ } ->
+        (match depth with Some d -> assert (d = 0) | None -> ());
         Array.iteri
           (fun i e ->
             (match lo with Some l -> assert (e >= l) | None -> ());
@@ -619,14 +849,16 @@ let check_invariants t =
             (match high_key with Some h -> assert (e < h) | None -> ());
             if i > 0 then assert (entries.(i - 1) <= e))
           entries
-    | Inner { seps; children; _ } ->
+    | Inner { seps; children; level; _ } ->
+        (match depth with Some d -> assert (d = level) | None -> ());
+        assert (level >= 1);
         assert (Array.length children = Array.length seps + 1);
         Array.iteri (fun i s -> if i > 0 then assert (seps.(i - 1) < s)) seps;
         Array.iteri
           (fun i child ->
             let lo' = if i = 0 then lo else Some seps.(i - 1) in
             let hi' = if i = Array.length seps then hi else Some seps.(i) in
-            check_node child ~lo:lo' ~hi:hi')
+            check_node child ~lo:lo' ~hi:hi' ~depth:(Some (level - 1)))
           children
   in
-  check_node (root_id t) ~lo:None ~hi:None
+  check_node (root_id t) ~lo:None ~hi:None ~depth:None

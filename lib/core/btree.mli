@@ -31,6 +31,25 @@ val name : t -> string
 val insert : t -> key:string -> rid:int -> unit
 val remove : t -> key:string -> rid:int -> unit
 
+val insert_many : t -> entries:(string * int) list -> unit
+(** Insert a batch of entries with (at most) a couple of batched store
+    round trips: the cached inner levels route every entry to its leaf,
+    the leaves are fetched with one multi-get, and each leaf receives one
+    LL/SC conditional write covering all its entries.  Entries whose leaf
+    went stale or conflicted are re-routed in a fresh round; entries whose
+    leaf would split fall back to per-entry traversals.  Equivalent to
+    calling {!insert} per entry. *)
+
+val remove_many : t -> entries:(string * int) list -> unit
+(** Batched {!remove}; same strategy as {!insert_many}. *)
+
+val insert_many_grouped : (t * (string * int) list) list -> unit
+(** {!insert_many} over several trees at once.  All trees must be
+    attached to the same store client: the groups share the leaf
+    multi-get and the conditional multi-write, so one commit's index
+    maintenance across all its trees costs ~2 batched round trips
+    total. *)
+
 val lookup : t -> key:string -> int list
 (** All rids stored under exactly [key], ascending. *)
 

@@ -253,6 +253,19 @@ let set_aborted t ~tid =
       Hashtbl.remove t.active tid;
       mark_decided t ~tid ~committed:false)
 
+let set_decided_batch t ~committed ~aborted =
+  let n = List.length committed + List.length aborted in
+  if n > 0 then
+    (* Marginal decisions are much cheaper than the first: the message
+       dominates, each extra tid is a table update. *)
+    rpc t ~demand:(350 + (80 * (n - 1))) (fun () ->
+        let decide ~committed tid =
+          Hashtbl.remove t.active tid;
+          mark_decided t ~tid ~committed
+        in
+        List.iter (decide ~committed:true) committed;
+        List.iter (decide ~committed:false) aborted)
+
 (* --- introspection / recovery ---------------------------------------------- *)
 
 let current_snapshot t = snapshot_of_state t

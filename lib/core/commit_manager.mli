@@ -51,6 +51,11 @@ val start : t -> from_group:Tell_sim.Engine.Group.t -> start_reply
 val set_committed : t -> tid:int -> unit
 val set_aborted : t -> tid:int -> unit
 
+val set_decided_batch : t -> committed:int list -> aborted:int list -> unit
+(** One RPC deciding many transactions at once — the coalesced form of
+    {!set_committed}/{!set_aborted} used by the per-PN notifier.  A no-op
+    when both lists are empty. *)
+
 (** {1 Introspection and recovery} *)
 
 val current_snapshot : t -> Version_set.t

@@ -60,9 +60,10 @@ let cluster t = t.cluster
 let commit_managers t = t.cms
 let pns t = t.pns
 
-let add_pn t ?cores ?cost ?buffer () =
+let add_pn t ?cores ?cost ?buffer ?notify_flush_window_ns () =
   let pn =
-    Pn.create t.cluster ~id:t.next_pn_id ?cores ?cost ?buffer ~commit_managers:t.cms ()
+    Pn.create t.cluster ~id:t.next_pn_id ?cores ?cost ?buffer ?notify_flush_window_ns
+      ~commit_managers:t.cms ()
   in
   t.next_pn_id <- t.next_pn_id + 1;
   t.pns <- t.pns @ [ pn ];
@@ -111,11 +112,18 @@ let with_txn pn f =
   match f txn with
   | result ->
       if Txn.status txn = Txn.Running then Txn.commit txn;
+      (* [Txn.commit] returns once the updates are applied; the log flag
+         and the commit-manager notification run in the PN's notifier.
+         Callers of [with_txn] expect a durable, globally visible commit
+         on return (the crash-recovery tests rely on it), so flush the
+         asynchronous tail before handing the result back. *)
+      Notifier.drain (Pn.notifier pn);
       result
   | exception e ->
       (match e with
       | Txn.Conflict _ -> ()  (* commit already aborted the transaction *)
       | _ -> if Txn.status txn = Txn.Running then ( try Txn.abort txn with _ -> () ));
+      (try Notifier.drain (Pn.notifier pn) with _ -> ());
       raise e
 
 let with_txn_retry ?(attempts = 16) pn f =
@@ -136,6 +144,7 @@ let exec pn sql =
       let txn = Txn.begin_txn pn in
       let result = Sql_plan.execute txn statement in
       Txn.commit txn;
+      Notifier.drain (Pn.notifier pn);
       result
   | _ -> with_txn pn (fun txn -> Sql_plan.execute txn statement)
 

@@ -20,7 +20,14 @@ val engine : t -> Tell_sim.Engine.t
 val cluster : t -> Tell_kv.Cluster.t
 val commit_managers : t -> Commit_manager.t list
 
-val add_pn : t -> ?cores:int -> ?cost:Pn.cost_model -> ?buffer:Buffer_pool.strategy -> unit -> Pn.t
+val add_pn :
+  t ->
+  ?cores:int ->
+  ?cost:Pn.cost_model ->
+  ?buffer:Buffer_pool.strategy ->
+  ?notify_flush_window_ns:int ->
+  unit ->
+  Pn.t
 (** Elastically add a processing node (no data movement — §2.1). *)
 
 val pns : t -> Pn.t list

@@ -1,0 +1,110 @@
+(* Asynchronous tail of the commit pipeline (§4.2–4.3).
+
+   Once a transaction's writes are applied its fate is decided, so the
+   log flag and the commit-manager notification tolerate delay: a delayed
+   decided-set only keeps the snapshot slightly behind, which at worst
+   raises the abort rate (§4.2).  Each processing node therefore owns one
+   notifier fiber that collects the outcomes of concurrent committers and
+   flushes them once per window: first one [multi_write] flagging all log
+   entries, then one batched RPC per commit manager.  The flag-first
+   order per tid is preserved — the commit manager never learns about a
+   commit whose log entry is still unflagged, so recovery (which trusts
+   the flag) and the manager can never disagree about a decided tid.
+
+   The fiber runs in the PN's group: a PN crash kills it and drops the
+   queue, leaving exactly the applied-but-unflagged log entries that
+   recovery rolls back (see [Recovery.recover_processing_nodes]). *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+
+type item = {
+  cm : Commit_manager.t;
+  tid : int;
+  entry : Txlog.entry option;  (* [Some e]: flag [e] in the log before notifying *)
+  committed : bool;
+  enqueued_at : int;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  kv : Kv.Client.t;
+  flush_window_ns : int;
+  note : ops:int -> int -> unit;  (* per-item pipeline latency (ns) *)
+  mutable queue : item list;  (* newest first *)
+  mutable in_flight : unit Sim.Ivar.t option;  (* single-flight flush *)
+  mutable flushed : int;
+}
+
+let pending t = List.length t.queue
+let flushed t = t.flushed
+
+let do_flush t items =
+  (* Flag first: one conditional-free multi-write covering every
+     read-write transaction's log entry. *)
+  (match List.filter_map (fun i -> i.entry) items with
+  | [] -> ()
+  | entries -> Txlog.mark_committed_many t.kv entries);
+  (* Then one batched RPC per (live) commit manager. *)
+  let by_cm = ref [] in
+  List.iter
+    (fun item ->
+      match List.find_opt (fun (cm, _) -> cm == item.cm) !by_cm with
+      | Some (_, group) -> group := item :: !group
+      | None -> by_cm := (item.cm, ref [ item ]) :: !by_cm)
+    items;
+  List.iter
+    (fun (cm, group) ->
+      let committed, aborted = List.partition (fun i -> i.committed) !group in
+      try
+        Commit_manager.set_decided_batch cm
+          ~committed:(List.map (fun i -> i.tid) committed)
+          ~aborted:(List.map (fun i -> i.tid) aborted)
+      with Kv.Op.Unavailable _ ->
+        (* The manager died mid-window.  Flagged entries are durable, so
+           its replacement re-learns the commits from the log tail
+           ([Commit_manager.recover]); unflagged outcomes are re-decided
+           by recovery. *)
+        ())
+    (List.rev !by_cm);
+  let finished = Sim.Engine.now t.engine in
+  List.iter
+    (fun i ->
+      t.flushed <- t.flushed + 1;
+      t.note ~ops:(match i.entry with Some _ -> 2 | None -> 1) (finished - i.enqueued_at))
+    items
+
+(* Flush everything enqueued before the call.  A flush in flight only
+   covers the items present when it started, so later callers wait for it
+   and then flush the remainder themselves. *)
+let rec drain t =
+  match t.in_flight with
+  | Some flush ->
+      Sim.Ivar.read flush;
+      drain t
+  | None -> (
+      match t.queue with
+      | [] -> ()
+      | _ :: _ ->
+          let items = List.rev t.queue in
+          t.queue <- [];
+          let flush = Sim.Ivar.create t.engine in
+          t.in_flight <- Some flush;
+          Fun.protect
+            ~finally:(fun () ->
+              t.in_flight <- None;
+              Sim.Ivar.fill flush ())
+            (fun () -> do_flush t items))
+
+let enqueue t ~cm ~tid ?entry ~committed () =
+  t.queue <-
+    { cm; tid; entry; committed; enqueued_at = Sim.Engine.now t.engine } :: t.queue
+
+let create engine ~group ~kv ~flush_window_ns ~note =
+  let t = { engine; kv; flush_window_ns; note; queue = []; in_flight = None; flushed = 0 } in
+  Sim.Engine.spawn engine ~group (fun () ->
+      while true do
+        Sim.Engine.sleep engine t.flush_window_ns;
+        drain t
+      done);
+  t

@@ -1,0 +1,32 @@
+(** Asynchronous tail of the commit pipeline: a per-PN fiber that flags
+    committed log entries with one [multi_write] and coalesces
+    [set_committed]/[set_aborted] traffic from concurrent committers into
+    one batched commit-manager RPC per flush window.  Correct under §4.2:
+    a delayed decided-set only raises the abort rate.  Flag-first order
+    per tid is preserved within a flush. *)
+
+type t
+
+val create :
+  Tell_sim.Engine.t ->
+  group:Tell_sim.Engine.Group.t ->
+  kv:Tell_kv.Client.t ->
+  flush_window_ns:int ->
+  note:(ops:int -> int -> unit) ->
+  t
+(** Spawns the flush fiber in [group] (so a PN crash kills it, dropping
+    any unflushed outcomes — exactly the window recovery handles).
+    [note] receives each item's enqueue-to-flush latency in ns. *)
+
+val enqueue :
+  t -> cm:Commit_manager.t -> tid:int -> ?entry:Txlog.entry -> committed:bool -> unit -> unit
+(** Record a transaction outcome.  [entry] (a read-write transaction's
+    log entry) is flagged committed in the log before the commit manager
+    is notified.  Never suspends. *)
+
+val drain : t -> unit
+(** Flush every outcome enqueued before the call; returns once they are
+    flagged and the commit managers notified.  Suspends. *)
+
+val pending : t -> int
+val flushed : t -> int

@@ -11,6 +11,13 @@ type cost_model = {
 let default_cost_model =
   { cpu_per_read_ns = 2_000; cpu_per_write_ns = 3_000; cpu_per_commit_ns = 10_000; cpu_per_statement_ns = 3_000 }
 
+(* How long a commit outcome may sit in the notifier before the flush
+   fiber pushes it out.  Calibration rationale in DESIGN.md §3b: short
+   enough to stay well under the commit managers' 1 ms sync interval
+   (the decided-set delay budget of §4.2), long enough to coalesce the
+   outcomes of concurrent committers into one batch. *)
+let default_notify_flush_window_ns = 100_000
+
 type rid_range = { mutable next : int; mutable stop : int (* exclusive *) }
 
 type t = {
@@ -29,13 +36,18 @@ type t = {
   rid_ranges : (string, rid_range) Hashtbl.t;
   btrees : (string, Btree.t) Hashtbl.t;
   schemas : (string, Schema.table) Hashtbl.t;
+  commit_stats : Sim.Stats.Breakdown.t;
+  mutable notifier : Notifier.t option;
   mutable alive : bool;
 }
+
+let commit_phases = [ "log"; "apply"; "index"; "notify" ]
 
 let rid_range_size = 64
 
 let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
-    ?(buffer = Buffer_pool.Transaction_buffer) ~commit_managers () =
+    ?(buffer = Buffer_pool.Transaction_buffer)
+    ?(notify_flush_window_ns = default_notify_flush_window_ns) ~commit_managers () =
   let engine = Kv.Cluster.engine cluster in
   let label = Printf.sprintf "pn%d" id in
   let group = Sim.Engine.make_group engine label in
@@ -56,10 +68,16 @@ let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
       rid_ranges = Hashtbl.create 16;
       btrees = Hashtbl.create 16;
       schemas = Hashtbl.create 16;
+      commit_stats = Sim.Stats.Breakdown.create commit_phases;
+      notifier = None;
       alive = true;
     }
   in
   t.pool <- Some (Buffer_pool.create t.kv buffer ~vmax:(fun () -> t.vmax));
+  t.notifier <-
+    Some
+      (Notifier.create engine ~group ~kv:t.kv ~flush_window_ns:notify_flush_window_ns
+         ~note:(fun ~ops ns -> Sim.Stats.Breakdown.add ~ops t.commit_stats ~phase:"notify" ns));
   t
 
 let id t = t.id
@@ -73,11 +91,19 @@ let alive t = t.alive
 let pool t =
   match t.pool with Some p -> p | None -> invalid_arg "Pn.pool: not initialised"
 
+let notifier t =
+  match t.notifier with Some n -> n | None -> invalid_arg "Pn.notifier: not initialised"
+
 let crash t =
   t.alive <- false;
   Sim.Engine.Group.kill t.group
 
 let charge t demand = Sim.Resource.use t.cpu ~demand
+
+let commit_stats t = t.commit_stats
+
+let note_commit_phase t ~phase ?(ops = 0) ns =
+  Sim.Stats.Breakdown.add ~ops t.commit_stats ~phase ns
 
 let commit_manager t =
   let n = Array.length t.commit_managers in

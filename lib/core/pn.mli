@@ -17,12 +17,16 @@ val default_cost_model : cost_model
 
 type t
 
+val default_notify_flush_window_ns : int
+(** Default notifier flush window (see DESIGN.md §3b for calibration). *)
+
 val create :
   Tell_kv.Cluster.t ->
   id:int ->
   ?cores:int ->
   ?cost:cost_model ->
   ?buffer:Buffer_pool.strategy ->
+  ?notify_flush_window_ns:int ->
   commit_managers:Commit_manager.t list ->
   unit ->
   t
@@ -33,6 +37,12 @@ val kv : t -> Tell_kv.Client.t
 val cluster : t -> Tell_kv.Cluster.t
 val engine : t -> Tell_sim.Engine.t
 val pool : t -> Buffer_pool.pool
+
+val notifier : t -> Notifier.t
+(** The asynchronous commit-notification fiber's queue: transactions
+    enqueue their outcome here instead of flagging the log and calling
+    the commit manager themselves. *)
+
 val alive : t -> bool
 
 val crash : t -> unit
@@ -42,6 +52,15 @@ val crash : t -> unit
 
 val charge : t -> int -> unit
 (** Consume PN CPU time (from a fiber running on this PN). *)
+
+val commit_phases : string list
+(** The commit pipeline's phase names: log, apply, index, notify. *)
+
+val commit_stats : t -> Tell_sim.Stats.Breakdown.t
+(** Per-phase latency/operation breakdown of this PN's commit pipeline. *)
+
+val note_commit_phase : t -> phase:string -> ?ops:int -> int -> unit
+(** Record one latency sample (ns) for a commit phase. *)
 
 val cost : t -> cost_model
 

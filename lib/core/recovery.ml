@@ -50,7 +50,15 @@ let recover_processing_nodes t ~failed_pn_ids =
       let entries = List.sort (fun (a : Txlog.entry) b -> Int.compare b.tid a.tid) entries in
       List.iter
         (fun (entry : Txlog.entry) ->
-          if (not entry.committed) && List.mem entry.pn_id failed_pn_ids then roll_back t entry)
+          if List.mem entry.pn_id failed_pn_ids then
+            if not entry.committed then roll_back t entry
+            else
+              (* The entry is flagged but the PN may have died before its
+                 notifier reported the commit.  Re-deliver it so the tid
+                 does not linger in the manager's active set and wedge
+                 the lav ([set_committed] is idempotent). *)
+              try Commit_manager.set_committed t.cm ~tid:entry.tid
+              with Kv.Op.Unavailable _ -> ())
         entries)
 
 (* Stand up a replacement commit manager (§4.4.3): restore its state from

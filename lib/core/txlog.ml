@@ -47,6 +47,16 @@ let append kv entry = Kv.Client.put kv (Keys.log_entry ~tid:entry.tid) (encode e
 
 let mark_committed kv entry = Kv.Client.put kv (Keys.log_entry ~tid:entry.tid) (encode { entry with committed = true })
 
+let mark_committed_many kv entries =
+  match entries with
+  | [] -> ()
+  | _ ->
+      ignore
+        (Kv.Client.multi_write kv
+           (List.map
+              (fun e -> Kv.Op.Put (Keys.log_entry ~tid:e.tid, encode { e with committed = true }))
+              entries))
+
 let find kv ~tid =
   match Kv.Client.get kv (Keys.log_entry ~tid) with
   | Some (data, _) -> Some (decode ~tid data)

@@ -20,6 +20,11 @@ val encode : entry -> string
 val decode : tid:int -> string -> entry
 val append : Tell_kv.Client.t -> entry -> unit
 val mark_committed : Tell_kv.Client.t -> entry -> unit
+
+(** Flag a batch of entries with one multi-write: one request per storage
+    node touched rather than one per entry. *)
+val mark_committed_many : Tell_kv.Client.t -> entry list -> unit
+
 val find : Tell_kv.Client.t -> tid:int -> entry option
 val scan : Tell_kv.Client.t -> min_tid:int -> entry list
 val truncate_below : Tell_kv.Client.t -> min_tid:int -> unit

@@ -34,6 +34,11 @@ type t = {
 }
 
 let begin_txn ?(isolation = Snapshot_isolation) pn =
+  (* Flush this PN's pending commit notifications first: a transaction
+     must see every commit that returned on its own PN (read your own
+     node's writes), so their tids have to reach the commit manager
+     before we fetch a snapshot from it. *)
+  Notifier.drain (Pn.notifier pn);
   let cm = Pn.commit_manager pn in
   let reply = Commit_manager.start cm ~from_group:(Pn.group pn) in
   Pn.note_started_snapshot pn reply.snapshot;
@@ -163,7 +168,7 @@ let pending_rows t ~table =
 let assert_no_invisible_version t record ~table ~rid =
   if List.exists (fun v -> not (visible t v)) (Record.version_numbers record) then begin
     t.status <- Aborted;
-    Commit_manager.set_aborted t.cm ~tid:t.tid;
+    Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
     raise (Conflict (Printf.sprintf "%s/%d has a newer version" table rid))
   end
 
@@ -276,7 +281,7 @@ let gc_index_entry t ~index ~key ~rid =
 
 let finish_abort t reason =
   t.status <- Aborted;
-  Commit_manager.set_aborted t.cm ~tid:t.tid;
+  Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
   raise (Conflict reason)
 
 let apply_writes t writes =
@@ -345,13 +350,24 @@ let validate_read_set t =
           | None, Some _ | Some _, None -> false)
         keys current
 
+(* Batched index maintenance: group the commit's index entries per tree
+   and hand all groups to one [Btree.insert_many_grouped] call, which
+   shares its two batched store round trips across every tree instead of
+   paying one full descent per entry. *)
 let maintain_indexes t writes =
+  let by_index = Hashtbl.create 4 in
   List.iter
     (fun (_, w) ->
       List.iter
-        (fun (index, key) -> Btree.insert (Pn.btree t.pn ~index) ~key ~rid:w.w_rid)
+        (fun (index, key) ->
+          Hashtbl.replace by_index index
+            ((key, w.w_rid) :: Option.value ~default:[] (Hashtbl.find_opt by_index index)))
         w.w_index_adds)
-    writes
+    writes;
+  Btree.insert_many_grouped
+    (Hashtbl.fold
+       (fun index entries acc -> (Pn.btree t.pn ~index, List.rev entries) :: acc)
+       by_index [])
 
 let commit t =
   check_running t;
@@ -362,7 +378,7 @@ let commit t =
   match writes with
   | [] ->
       t.status <- Committed;
-      Commit_manager.set_committed t.cm ~tid:t.tid
+      Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:true ()
   | _ :: _ -> (
       (* Try-commit (§4.3, step 3): log first, then apply. *)
       let entry =
@@ -374,10 +390,15 @@ let commit t =
           committed = false;
         }
       in
+      let now () = Tell_sim.Engine.now (Pn.engine t.pn) in
+      let t_log = now () in
       Txlog.append (Pn.kv t.pn) entry;
+      Pn.note_commit_phase t.pn ~phase:"log" ~ops:1 (now () - t_log);
+      let t_apply = now () in
       match apply_writes t writes with
       | `Conflict -> finish_abort t "store-conditional failed"
       | `Applied ->
+          Pn.note_commit_phase t.pn ~phase:"apply" ~ops:(List.length writes) (now () - t_apply);
           if t.isolation = Serializable && not (validate_read_set t) then begin
             (* A record we depended on changed: undo our applied writes. *)
             List.iter
@@ -386,13 +407,22 @@ let commit t =
             finish_abort t "serializable read validation failed"
           end
           else begin
+            let t_index = now () in
             maintain_indexes t writes;
-            Txlog.mark_committed (Pn.kv t.pn) entry;
+            let n_entries =
+              List.fold_left (fun acc (_, w) -> acc + List.length w.w_index_adds) 0 writes
+            in
+            Pn.note_commit_phase t.pn ~phase:"index" ~ops:n_entries (now () - t_index);
+            (* The synchronous pipeline ends here (§4.3 step 4a is done):
+               flagging the log entry and telling the commit manager are
+               deferred to the PN's notifier, which coalesces them with
+               the outcomes of concurrent committers.  A delayed
+               decided-set can only raise the abort rate (§4.2). *)
             t.status <- Committed;
-            Commit_manager.set_committed t.cm ~tid:t.tid
+            Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~entry ~committed:true ()
           end)
 
 let abort t =
   check_running t;
   t.status <- Aborted;
-  Commit_manager.set_aborted t.cm ~tid:t.tid
+  Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ()

@@ -31,6 +31,7 @@ type tell_config = {
   warmup_ns : int;
   measure_ns : int;
   seed : int;
+  notify_flush_window_ns : int;
 }
 
 let default_tell =
@@ -50,6 +51,7 @@ let default_tell =
     warmup_ns = 150_000_000;
     measure_ns = 600_000_000;
     seed = 42;
+    notify_flush_window_ns = Pn.default_notify_flush_window_ns;
   }
 
 (* Core accounting of §6.4: 4-core PNs and SNs (one NUMA unit), 2-core
@@ -58,7 +60,15 @@ let tell_cores c = (4 * c.n_pns) + (4 * c.n_sns) + (2 * c.n_cms) + 2
 
 let scale_of c = Tpcc.Spec.sim_scale ~warehouses:c.warehouses
 
-let run_tell (c : tell_config) =
+(* Aggregated commit-pipeline instrumentation of one Tell run: store-client
+   counters summed over the PNs plus the merged per-phase breakdown. *)
+type tell_detail = {
+  d_requests : int;  (** store requests sent by all PN clients *)
+  d_ops : int;  (** operations carried by those requests *)
+  d_phases : (string * Sim.Stats.Histogram.t * int) list;
+}
+
+let run_tell_detailed (c : tell_config) =
   let engine = Sim.Engine.create () in
   let kv_config =
     {
@@ -73,7 +83,9 @@ let run_tell (c : tell_config) =
   in
   let db = Database.create engine ~kv_config ~n_commit_managers:c.n_cms () in
   let pns =
-    List.init c.n_pns (fun _ -> Database.add_pn db ~cores:c.pn_cores ~buffer:c.buffer ())
+    List.init c.n_pns (fun _ ->
+        Database.add_pn db ~cores:c.pn_cores ~buffer:c.buffer
+          ~notify_flush_window_ns:c.notify_flush_window_ns ())
   in
   let scale = scale_of c in
   let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:(c.seed + 1) in
@@ -86,15 +98,31 @@ let run_tell (c : tell_config) =
       seed = c.seed + 2;
     }
   in
-  match
-    Tpcc.Driver.run
-      (module Tpcc.Tell_engine : Tpcc.Engine_intf.ENGINE
-        with type t = Tpcc.Tell_engine.t
-         and type conn = Tpcc.Tell_engine.conn)
-      tell ~engine ~scale ~mix:c.mix ~config ()
-  with
-  | report -> Report report
-  | exception Kv.Op.Capacity_exceeded _ -> Out_of_memory
+  let outcome =
+    match
+      Tpcc.Driver.run
+        (module Tpcc.Tell_engine : Tpcc.Engine_intf.ENGINE
+          with type t = Tpcc.Tell_engine.t
+           and type conn = Tpcc.Tell_engine.conn)
+        tell ~engine ~scale ~mix:c.mix ~config ()
+    with
+    | report -> Report report
+    | exception Kv.Op.Capacity_exceeded _ -> Out_of_memory
+  in
+  let merged = Sim.Stats.Breakdown.create Pn.commit_phases in
+  List.iter
+    (fun pn -> Sim.Stats.Breakdown.merge_into ~src:(Pn.commit_stats pn) ~dst:merged)
+    pns;
+  let detail =
+    {
+      d_requests = List.fold_left (fun a pn -> a + Kv.Client.requests_sent (Pn.kv pn)) 0 pns;
+      d_ops = List.fold_left (fun a pn -> a + Kv.Client.ops_sent (Pn.kv pn)) 0 pns;
+      d_phases = Sim.Stats.Breakdown.phases merged;
+    }
+  in
+  (outcome, detail)
+
+let run_tell c = fst (run_tell_detailed c)
 
 (* --- VoltDB ---------------------------------------------------------------------- *)
 

@@ -117,3 +117,35 @@ module Histogram = struct
     Array.fill t.buckets 0 n_buckets 0;
     Moments.reset t.moments
 end
+
+module Breakdown = struct
+  (* A fixed set of named phases, each with a latency histogram and an
+     operation counter — the commit-path instrumentation (log, apply,
+     index, notify) uses one of these per processing node. *)
+
+  type phase = { name : string; hist : Histogram.t; ops : Counter.t }
+  type t = phase list
+
+  let create names =
+    List.map (fun name -> { name; hist = Histogram.create (); ops = Counter.create name }) names
+
+  let find t name =
+    match List.find_opt (fun p -> p.name = name) t with
+    | Some p -> p
+    | None -> invalid_arg ("Stats.Breakdown: unknown phase " ^ name)
+
+  let add ?(ops = 0) t ~phase v =
+    let p = find t phase in
+    Histogram.add p.hist v;
+    if ops > 0 then Counter.incr ~by:ops p.ops
+
+  let phases t = List.map (fun p -> (p.name, p.hist, Counter.value p.ops)) t
+
+  let merge_into ~src ~dst =
+    List.iter
+      (fun s ->
+        let d = find dst s.name in
+        Histogram.merge_into ~src:s.hist ~dst:d.hist;
+        Counter.incr ~by:(Counter.value s.ops) d.ops)
+      src
+end

@@ -45,3 +45,26 @@ module Histogram : sig
   val merge_into : src:t -> dst:t -> unit
   val reset : t -> unit
 end
+
+module Breakdown : sig
+  (** A fixed set of named phases, each carrying a latency histogram and
+      an operation counter — used for per-phase breakdowns of composite
+      code paths (e.g. the commit pipeline's log / apply / index / notify
+      phases). *)
+
+  type t
+
+  val create : string list -> t
+  (** The phase set is fixed at creation; {!add} on an unknown phase
+      raises [Invalid_argument]. *)
+
+  val add : ?ops:int -> t -> phase:string -> int -> unit
+  (** Record one latency sample (ns) for [phase], optionally accounting
+      [ops] operations against it. *)
+
+  val phases : t -> (string * Histogram.t * int) list
+  (** [(name, latency histogram, total ops)] in creation order. *)
+
+  val merge_into : src:t -> dst:t -> unit
+  (** Phases of [src] must exist in [dst]. *)
+end

@@ -182,6 +182,88 @@ let test_lookup_many () =
       | [ (_, rids) ] -> Alcotest.(check (list int)) "fresh value" [ 5757 ] rids
       | _ -> Alcotest.fail "single result expected")
 
+(* Property: insert_many/remove_many are equivalent to the sequential
+   per-entry operations, including while concurrent committers on other
+   clients mutate the trees.  Two trees receive the same operations — one
+   per entry, one batched — and must end up with identical [range]
+   results. *)
+let test_batched_matches_sequential () =
+  with_cluster (fun engine cluster ->
+      let kv0 = client cluster in
+      Btree.create kv0 ~name:"p_seq";
+      Btree.create kv0 ~name:"p_bat";
+      (* Concurrent committers: each worker applies its own (disjoint)
+         entries to both trees, batched on one and per-entry on the other,
+         forcing CAS conflicts and splits under the main fiber's feet. *)
+      let n_churn = 3 in
+      let churn_done = ref 0 in
+      for w = 0 to n_churn - 1 do
+        Sim.Engine.spawn engine (fun () ->
+            let kv = client cluster in
+            let seq = Btree.attach kv ~name:"p_seq" in
+            let bat = Btree.attach kv ~name:"p_bat" in
+            let entries = List.init 120 (fun i -> (Printf.sprintf "c%d_%04d" w i, i)) in
+            let rec chunks = function
+              | [] -> []
+              | l ->
+                  let rec take n = function
+                    | x :: rest when n > 0 ->
+                        let got, rem = take (n - 1) rest in
+                        (x :: got, rem)
+                    | rest -> ([], rest)
+                  in
+                  let got, rem = take 20 l in
+                  got :: chunks rem
+            in
+            List.iter
+              (fun chunk ->
+                List.iter (fun (key, rid) -> Btree.insert seq ~key ~rid) chunk;
+                Btree.insert_many bat ~entries:chunk;
+                Sim.Engine.sleep engine 2_000)
+              (chunks entries);
+            let dels = List.filteri (fun i _ -> i mod 3 = 0) entries in
+            List.iter (fun (key, rid) -> Btree.remove seq ~key ~rid) dels;
+            Btree.remove_many bat ~entries:dels;
+            incr churn_done)
+      done;
+      (* Main fiber: random mixed rounds over a hot shared keyspace. *)
+      let kv = client cluster in
+      let seq = Btree.attach kv ~name:"p_seq" in
+      let bat = Btree.attach kv ~name:"p_bat" in
+      let rng = Random.State.make [| 99 |] in
+      let model = ref Entry_set.empty in
+      for _round = 1 to 40 do
+        let adds = ref [] and dels = ref [] in
+        for _op = 1 to 25 do
+          let key = Printf.sprintf "m%03d" (Random.State.int rng 150) in
+          let rid = Random.State.int rng 4 in
+          if Random.State.int rng 10 < 7 then begin
+            if not (List.mem (key, rid) !adds) then adds := (key, rid) :: !adds
+          end
+          else if not (List.mem (key, rid) !dels) then dels := (key, rid) :: !dels
+        done;
+        let adds = List.rev !adds and dels = List.rev !dels in
+        List.iter (fun (key, rid) -> Btree.insert seq ~key ~rid) adds;
+        Btree.insert_many bat ~entries:adds;
+        List.iter (fun (key, rid) -> Btree.remove seq ~key ~rid) dels;
+        Btree.remove_many bat ~entries:dels;
+        List.iter (fun e -> model := Entry_set.add e !model) adds;
+        List.iter (fun e -> model := Entry_set.remove e !model) dels;
+        Sim.Engine.sleep engine 1_000
+      done;
+      while !churn_done < n_churn do
+        Sim.Engine.sleep engine 1_000_000
+      done;
+      Btree.check_invariants seq;
+      Btree.check_invariants bat;
+      let all_seq = Btree.range seq ~lo:"" ~hi:"\xff" in
+      let all_bat = Btree.range bat ~lo:"" ~hi:"\xff" in
+      Alcotest.(check (list (pair string int))) "batched tree = sequential tree" all_seq all_bat;
+      (* The shared keyspace also matches the reference model exactly. *)
+      Alcotest.(check (list (pair string int)))
+        "batched tree = model" (Entry_set.elements !model)
+        (Btree.range bat ~lo:"m" ~hi:"n"))
+
 let test_duplicate_keys () =
   with_cluster (fun _engine cluster ->
       let kv = client cluster in
@@ -209,5 +291,7 @@ let () =
           Alcotest.test_case "range limit" `Quick test_range_limit;
           Alcotest.test_case "duplicate keys" `Quick test_duplicate_keys;
           Alcotest.test_case "lookup_many batched" `Quick test_lookup_many;
+          Alcotest.test_case "batched maintenance = sequential" `Quick
+            test_batched_matches_sequential;
         ] );
     ]

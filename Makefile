@@ -1,4 +1,4 @@
-.PHONY: all build test check bench clean
+.PHONY: all build test check examples-smoke audit bench bench-smoke clean
 
 all: build
 
@@ -8,13 +8,33 @@ build:
 test:
 	dune runtest
 
-# The gate CI runs: everything compiles and all test suites pass.
+# The gate CI runs: everything compiles, all test suites pass, the
+# deterministic fault-injection matrix is green, and the examples run.
 check:
 	dune build @all
 	dune runtest
+	dune exec bin/tell_check.exe -- --quick
+	$(MAKE) examples-smoke
+
+examples-smoke:
+	dune exec examples/quickstart.exe
+	dune exec examples/mixed_workload.exe
+	dune exec examples/elastic_scaling.exe
+	dune exec examples/fault_tolerance.exe
+
+# Replay a few seeds twice and fail on any counter divergence: guards the
+# determinism contract the repro commands depend on.
+audit:
+	dune exec bin/tell_check.exe -- --deterministic-audit --seeds 3
 
 bench:
 	dune exec bin/tell_bench.exe -- tell --pns 4 --rf 3
+
+# Reduced benchmark run compared against the committed baseline; fails if
+# TpmC drops more than 15% or requests/new-order rises more than 10%.
+bench-smoke:
+	dune exec bin/tell_bench.exe -- tell --pns 4 --rf 3 --json BENCH_current.json
+	dune exec bin/bench_compare.exe -- BENCH_commit.json BENCH_current.json
 
 clean:
 	dune clean

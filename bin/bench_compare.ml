@@ -1,0 +1,100 @@
+(* bench_compare: regression gate over tell_bench --json summaries.
+
+     bench_compare BASELINE.json CURRENT.json [--tpmc-tolerance PCT] [--rpno-tolerance PCT]
+
+   Fails (exit 1) when the current run's TpmC drops by more than the TpmC
+   tolerance (default 15%) or its requests-per-new-order rises by more
+   than the rpno tolerance (default 10%) versus the baseline.  The files
+   are the flat JSON summaries tell_bench writes; fields are scraped
+   textually so the tool has no dependencies beyond the stdlib. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Extract the number following ["field": ] in a flat JSON object. *)
+let field contents name =
+  let needle = Printf.sprintf "\"%s\":" name in
+  let rec find from =
+    if from + String.length needle > String.length contents then None
+    else if String.sub contents from (String.length needle) = needle then Some from
+    else find (from + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some at ->
+      let start = at + String.length needle in
+      let stop = ref start in
+      while
+        !stop < String.length contents
+        && (match contents.[!stop] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' | ' ' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      float_of_string_opt (String.trim (String.sub contents start (!stop - start)))
+
+let require path contents name =
+  match field contents name with
+  | Some v -> v
+  | None ->
+      Printf.eprintf "bench_compare: field %S not found in %s\n" name path;
+      exit 2
+
+let () =
+  let baseline_path = ref None in
+  let current_path = ref None in
+  let tpmc_tolerance = ref 15.0 in
+  let rpno_tolerance = ref 10.0 in
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | [] -> ()
+    | "--tpmc-tolerance" :: v :: rest ->
+        tpmc_tolerance := float_of_string v;
+        parse rest
+    | "--rpno-tolerance" :: v :: rest ->
+        rpno_tolerance := float_of_string v;
+        parse rest
+    | path :: rest ->
+        (match (!baseline_path, !current_path) with
+        | None, _ -> baseline_path := Some path
+        | Some _, None -> current_path := Some path
+        | Some _, Some _ ->
+            prerr_endline "bench_compare: too many arguments";
+            exit 2);
+        parse rest
+  in
+  parse (List.tl args);
+  match (!baseline_path, !current_path) with
+  | Some baseline_path, Some current_path ->
+      let baseline = read_file baseline_path in
+      let current = read_file current_path in
+      let b_tpmc = require baseline_path baseline "tpmc" in
+      let c_tpmc = require current_path current "tpmc" in
+      let b_rpno = require baseline_path baseline "requests_per_new_order" in
+      let c_rpno = require current_path current "requests_per_new_order" in
+      let tpmc_drop_pct = 100.0 *. (b_tpmc -. c_tpmc) /. b_tpmc in
+      let rpno_rise_pct = 100.0 *. (c_rpno -. b_rpno) /. b_rpno in
+      Printf.printf "TpmC                  %10.1f -> %10.1f  (%+.1f%%, tolerance -%.0f%%)\n"
+        b_tpmc c_tpmc (-.tpmc_drop_pct) !tpmc_tolerance;
+      Printf.printf "requests/new-order    %10.2f -> %10.2f  (%+.1f%%, tolerance +%.0f%%)\n"
+        b_rpno c_rpno rpno_rise_pct !rpno_tolerance;
+      let failed = ref false in
+      if tpmc_drop_pct > !tpmc_tolerance then begin
+        Printf.printf "FAIL: TpmC regressed %.1f%% (> %.0f%%)\n" tpmc_drop_pct !tpmc_tolerance;
+        failed := true
+      end;
+      if rpno_rise_pct > !rpno_tolerance then begin
+        Printf.printf "FAIL: requests/new-order regressed %.1f%% (> %.0f%%)\n" rpno_rise_pct
+          !rpno_tolerance;
+        failed := true
+      end;
+      if !failed then exit 1 else print_endline "bench_compare: within tolerance"
+  | _ ->
+      prerr_endline
+        "usage: bench_compare BASELINE.json CURRENT.json [--tpmc-tolerance PCT] [--rpno-tolerance PCT]";
+      exit 2

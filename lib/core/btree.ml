@@ -834,31 +834,62 @@ let bulk_cells ~name ~entries =
   in
   root_cell :: counter_cell :: !cells
 
-(* --- invariants (test hook) --------------------------------------------------- *)
+(* --- invariants (check-harness / test hook) ----------------------------------- *)
 
-let check_invariants t =
+let check t =
+  let violations = ref [] in
+  let note id fmt =
+    Printf.ksprintf
+      (fun s -> violations := Printf.sprintf "%s node %d: %s" (name t) id s :: !violations)
+      fmt
+  in
+  let pp (key, rid) = Printf.sprintf "(%S,%d)" key rid in
   let rec check_node id ~lo ~hi ~depth =
     let node, _ = load_node t id in
     match node with
     | Leaf { entries; high_key; _ } ->
-        (match depth with Some d -> assert (d = 0) | None -> ());
+        (match depth with
+        | Some d when d <> 0 -> note id "leaf at level %d (expected 0)" d
+        | _ -> ());
         Array.iteri
           (fun i e ->
-            (match lo with Some l -> assert (e >= l) | None -> ());
-            (match hi with Some h -> assert (e < h) | None -> ());
-            (match high_key with Some h -> assert (e < h) | None -> ());
-            if i > 0 then assert (entries.(i - 1) <= e))
+            (match lo with
+            | Some l when e < l -> note id "entry %s below lower bound %s" (pp e) (pp l)
+            | _ -> ());
+            (match hi with
+            | Some h when e >= h -> note id "entry %s above upper bound %s" (pp e) (pp h)
+            | _ -> ());
+            (match high_key with
+            | Some h when e >= h -> note id "entry %s above high key %s" (pp e) (pp h)
+            | _ -> ());
+            if i > 0 && not (entries.(i - 1) <= e) then
+              note id "entries out of order: %s before %s" (pp entries.(i - 1)) (pp e))
           entries
     | Inner { seps; children; level; _ } ->
-        (match depth with Some d -> assert (d = level) | None -> ());
-        assert (level >= 1);
-        assert (Array.length children = Array.length seps + 1);
-        Array.iteri (fun i s -> if i > 0 then assert (seps.(i - 1) < s)) seps;
+        (match depth with
+        | Some d when d <> level -> note id "level tag %d (expected %d)" level d
+        | _ -> ());
+        if level < 1 then note id "inner node at level %d" level;
+        if Array.length children <> Array.length seps + 1 then
+          note id "%d children for %d separators" (Array.length children) (Array.length seps);
+        Array.iteri
+          (fun i s ->
+            if i > 0 && not (seps.(i - 1) < s) then
+              note id "separators out of order: %s before %s" (pp seps.(i - 1)) (pp s))
+          seps;
         Array.iteri
           (fun i child ->
-            let lo' = if i = 0 then lo else Some seps.(i - 1) in
-            let hi' = if i = Array.length seps then hi else Some seps.(i) in
-            check_node child ~lo:lo' ~hi:hi' ~depth:(Some (level - 1)))
+            if i <= Array.length seps then begin
+              let lo' = if i = 0 then lo else Some seps.(i - 1) in
+              let hi' = if i >= Array.length seps then hi else Some seps.(i) in
+              check_node child ~lo:lo' ~hi:hi' ~depth:(Some (level - 1))
+            end)
           children
   in
-  check_node (root_id t) ~lo:None ~hi:None ~depth:None
+  check_node (root_id t) ~lo:None ~hi:None ~depth:None;
+  List.rev !violations
+
+let check_invariants t =
+  match check t with
+  | [] -> ()
+  | violations -> invalid_arg ("Btree.check_invariants: " ^ String.concat "; " violations)

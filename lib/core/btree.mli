@@ -75,6 +75,12 @@ val bulk_cells : name:string -> entries:(string * int) list -> (string * string)
 
 (**/**)
 
+val check : t -> string list
+(** Walk the whole tree and collect structural violations — entry/separator
+    ordering, bound containment, level tags, child arity — as
+    human-readable strings ([[]] when sound).  Full separator entries are
+    (key, rid) pairs; comparisons never drop the rid.  Expensive;
+    simulation-time only (the [tell_check] harness and tests). *)
+
 val check_invariants : t -> unit
-(** Test hook: walks the whole tree and asserts ordering, fanout, and
-    linkage invariants.  Expensive; simulation-time only. *)
+(** {!check}, raising [Invalid_argument] on the first violation set. *)

@@ -15,6 +15,7 @@ type t = {
   range_size : int;
   sync_interval_ns : int;
   retire_after_ns : int;
+  mutable range_start : int;  (* first tid of the current range *)
   mutable range_next : int;
   mutable range_end : int;  (* exclusive *)
   mutable range_acquired_at : int;
@@ -23,7 +24,8 @@ type t = {
   decided : (int, bool) Hashtbl.t;  (* tid > decided_base -> committed? *)
   mutable committed_above : ISet.t;
   mutable cached_snapshot : Version_set.t option;
-  active : (int, int) Hashtbl.t;  (* tid -> snapshot base at start *)
+  active : (int, int * Sim.Engine.Group.t) Hashtbl.t;
+      (* tid -> (snapshot base at start, originating PN's fiber group) *)
   mutable peer_lavs : (int, int) Hashtbl.t;
   mutable alive : bool;
 }
@@ -44,6 +46,7 @@ let make cluster ~id ?(peers = []) ?(range_size = 64) ?(sync_interval_ns = 1_000
       range_size;
       sync_interval_ns;
       retire_after_ns = 4 * sync_interval_ns;
+      range_start = 1;
       range_next = 1;
       range_end = 1;
       range_acquired_at = 0;
@@ -57,6 +60,14 @@ let make cluster ~id ?(peers = []) ?(range_size = 64) ?(sync_interval_ns = 1_000
       alive = true;
     }
   in
+  (* Until a peer has published its state, its lav is unknown: treat it
+     as 0, not as absent.  Otherwise [global_lav] overestimates during
+     the gap (it would ignore a peer whose oldest active transaction
+     still holds a low snapshot base) and eager record GC could compact
+     versions that transaction can still read.  Initialising to 0 also
+     makes the advertised lav monotone: late peer news can only raise
+     it. *)
+  List.iter (fun p -> Hashtbl.replace t.peer_lavs p 0) t.peers;
   t
 
 let id t = t.id
@@ -102,7 +113,7 @@ let snapshot_of_state t =
       s
 
 let local_lav t =
-  Hashtbl.fold (fun _ b acc -> min b acc) t.active t.decided_base
+  Hashtbl.fold (fun _ (b, _) acc -> min b acc) t.active t.decided_base
 
 let global_lav t =
   Hashtbl.fold (fun _ lav acc -> min lav acc) t.peer_lavs (local_lav t)
@@ -111,7 +122,8 @@ let global_lav t =
 
 let acquire_range t =
   let top = Kv.Client.increment t.kv Keys.tid_counter t.range_size in
-  t.range_next <- top - t.range_size + 1;
+  t.range_start <- top - t.range_size + 1;
+  t.range_next <- t.range_start;
   t.range_end <- top + 1;
   t.range_acquired_at <- Sim.Engine.now t.engine
 
@@ -236,11 +248,11 @@ let rpc t ~demand f =
   Sim.Net.transfer net ~bytes:64;
   reply
 
-let start t ~from_group:_ =
+let start t ~from_group =
   rpc t ~demand:900 (fun () ->
       let tid = next_tid t in
       let snapshot = snapshot_of_state t in
-      Hashtbl.replace t.active tid (Version_set.base snapshot);
+      Hashtbl.replace t.active tid (Version_set.base snapshot, from_group);
       { tid; snapshot; lav = global_lav t })
 
 let set_committed t ~tid =
@@ -271,6 +283,37 @@ let set_decided_batch t ~committed ~aborted =
 let current_snapshot t = snapshot_of_state t
 let current_lav t = global_lav t
 let active_count t = Hashtbl.length t.active
+
+(* Discard active transactions whose originating fiber group is dead,
+   recovering each one's decision from the log (§4.4.1): a flagged entry
+   is a commit that died between flagging and notifying; anything else —
+   unflagged (recovery rolled it back) or never logged (it applied
+   nothing) — is an abort.  Without this sweep the dead node's tids
+   wedge the lav, and with it snapshot-base advance and record GC,
+   forever. *)
+(* The whole current range, handed-out part included: the reclamation
+   sweep must not touch tids this live manager may still decide through
+   the normal notification path. *)
+let range_span t = (t.range_start, t.range_end)
+
+let release_dead_actives t =
+  let dead =
+    Hashtbl.fold
+      (fun tid (_, group) acc ->
+        if Sim.Engine.Group.alive group then acc else tid :: acc)
+      t.active []
+  in
+  List.iter
+    (fun tid ->
+      Hashtbl.remove t.active tid;
+      let committed =
+        match Txlog.find t.kv ~tid with
+        | Some (entry : Txlog.entry) -> entry.committed
+        | None -> false
+      in
+      mark_decided t ~tid ~committed)
+    (List.sort Int.compare dead);
+  List.length dead
 
 let recover t =
   (* Last used tid: the shared counter is authoritative. *)

@@ -62,6 +62,17 @@ val current_snapshot : t -> Version_set.t
 val current_lav : t -> int
 val active_count : t -> int
 
+val range_span : t -> int * int
+(** The manager's current tid range [(start, end))], handed-out part
+    included.  The management node's reclamation sweep treats every tid
+    inside a live manager's span as spoken for. *)
+
+(** Release active transactions whose originating fiber group is dead,
+    recovering each decision from the log (flagged entry = commit,
+    otherwise abort), and return how many were released.  Called by
+    [Database.recover_crashed_pns] after the recovery log pass. *)
+val release_dead_actives : t -> int
+
 val recover : t -> unit
 (** Rebuild state after taking over from a failed manager (§4.4.3): reads
     the tid counter, the peers' published states, and the tail of the

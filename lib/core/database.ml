@@ -15,6 +15,74 @@ type t = {
   gc : Gc_task.t Lazy.t;
 }
 
+
+
+(* Tid-range reclamation (§4.4.3).  Every handed-out tid must eventually
+   be decided or snapshot bases stop advancing — and with them version GC
+   and every manager's visibility floor.  Two leaks survive the normal
+   paths: a crashed manager's reserved-but-unhanded range tail (nobody
+   else knows it existed), and a tid whose transaction died together with
+   both its manager and its node.  The management node sweeps for them: a
+   tid below the counter top that is undecided, outside every live
+   manager's current range span and claimed by no live processing node
+   can never be decided by anyone else.  The transaction log arbitrates
+   exactly like PN recovery does: flagged entry = committed, anything
+   else = aborted.  A tid is only reclaimed after it was eligible in two
+   consecutive rounds, because a freshly assigned tid is unclaimed while
+   the manager's reply is still in flight (bounded by one network delay,
+   far below the sweep interval).
+
+   An unflagged log entry is rolled back here, before the abort decision
+   is published: deciding first would advance snapshot bases past the
+   tid, making its half-applied versions visible to every future reader
+   â and hiding the entry from the PN-recovery log scan, which starts at
+   the lav. *)
+let start_tid_reclamation t =
+  let mgmt = Kv.Cluster.mgmt_group t.cluster in
+  let kv = Kv.Client.create t.cluster ~group:mgmt in
+  let suspects = Hashtbl.create 64 in
+  Sim.Engine.spawn t.engine ~group:mgmt (fun () ->
+      while true do
+        Sim.Engine.sleep t.engine 1_000_000;
+        match List.filter Commit_manager.alive t.cms with
+        | [] -> ()
+        | (cm :: _) as live_cms ->
+            let vs = Commit_manager.current_snapshot cm in
+            let base = Version_set.base vs in
+            let top = Kv.Client.increment kv Keys.tid_counter 0 in
+            let spans = List.map Commit_manager.range_span live_cms in
+            let committed = ref [] and aborted = ref [] in
+            for tid = base + 1 to top do
+              if
+                (not (Version_set.mem vs tid))
+                && (not (List.exists (fun (a, b) -> tid >= a && tid < b) spans))
+                && not (List.exists (fun pn -> Pn.claims pn ~tid) t.pns)
+              then
+                if Hashtbl.mem suspects tid then begin
+                  Hashtbl.remove suspects tid;
+                  match Txlog.find kv ~tid with
+                  | Some (entry : Txlog.entry) when entry.committed ->
+                      committed := tid :: !committed
+                  | Some entry ->
+                      List.iter
+                        (fun key -> Rollback.remove_version kv ~key ~version:tid)
+                        entry.write_set;
+                      aborted := tid :: !aborted
+                  | None -> aborted := tid :: !aborted
+                end
+                else Hashtbl.replace suspects tid ()
+              else Hashtbl.remove suspects tid
+            done;
+            if !committed <> [] || !aborted <> [] then
+              List.iter
+                (fun cm ->
+                  try
+                    Commit_manager.set_decided_batch cm ~committed:!committed
+                      ~aborted:!aborted
+                  with Kv.Op.Unavailable _ -> ())
+                live_cms
+      done)
+
 let create engine ?(kv_config = Kv.Cluster.default_config) ?(n_commit_managers = 1)
     ?(cm_sync_interval_ns = 1_000_000) ?(cm_range_size = 64) () =
   let cluster = Kv.Cluster.create engine kv_config in
@@ -53,6 +121,7 @@ let create engine ?(kv_config = Kv.Cluster.default_config) ?(n_commit_managers =
           | [] -> invalid_arg "Database: no commit manager");
     }
   in
+  start_tid_reclamation t;
   t
 
 let engine t = t.engine
@@ -81,6 +150,18 @@ let add_commit_manager t =
   t.cms <- t.cms @ [ cm ];
   cm
 
+(* The replacement takes over the dead manager's identity — its id and
+   published-state slot — so surviving peers resume merging its decisions
+   and the reclamation sweep keeps watching it (§4.4.3). *)
+let replace_commit_manager t ~dead =
+  let fresh =
+    Recovery.replace_commit_manager t.cluster ~dead:(Commit_manager.id dead)
+      ~fresh_id:(Commit_manager.id dead)
+      ~peers:(List.map Commit_manager.id t.cms)
+  in
+  t.cms <- List.map (fun cm -> if cm == dead then fresh else cm) t.cms;
+  fresh
+
 let crash_pn t pn =
   Pn.crash pn;
   t.pns <- List.filter (fun p -> Pn.id p <> Pn.id pn) t.pns;
@@ -95,6 +176,14 @@ let recover_crashed_pns t =
       let recovery = Lazy.force t.recovery in
       let before = Recovery.recovered_txns recovery in
       Recovery.recover_processing_nodes recovery ~failed_pn_ids:(List.map Pn.id crashed);
+      (* The log pass above rolled back the dead nodes' partial updates;
+         now release their still-active tids so they cannot wedge the
+         lav.  (A dead manager's own sweep must wait for its
+         replacement: its kv client can no longer run.) *)
+      List.iter
+        (fun cm ->
+          if Commit_manager.alive cm then ignore (Commit_manager.release_dead_actives cm))
+        t.cms;
       t.crashed_pns <- [];
       Recovery.recovered_txns recovery - before
 

@@ -32,6 +32,15 @@ val add_pn :
 
 val pns : t -> Pn.t list
 val add_commit_manager : t -> Commit_manager.t
+
+val replace_commit_manager : t -> dead:Commit_manager.t -> Commit_manager.t
+(** Stand up a replacement for a crashed manager under the same id
+    (§4.4.3): it recovers its state from the published peer states and
+    the transaction-log tail, and takes the dead instance's place in
+    this database's manager list.  Raises {!Tell_kv.Op.Unavailable} if
+    recovery cannot read the store (retry once the storage fail-over
+    settles). *)
+
 val crash_pn : t -> Pn.t -> unit
 val crash_storage_node : t -> int -> unit
 val recover_crashed_pns : t -> int

@@ -38,6 +38,9 @@ type t = {
   schemas : (string, Schema.table) Hashtbl.t;
   commit_stats : Sim.Stats.Breakdown.t;
   mutable notifier : Notifier.t option;
+  claimed_tids : (int, unit) Hashtbl.t;
+      (* in-flight transactions on this node; the reclamation sweep never
+         touches a tid a live node claims *)
   mutable alive : bool;
 }
 
@@ -70,6 +73,7 @@ let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
       schemas = Hashtbl.create 16;
       commit_stats = Sim.Stats.Breakdown.create commit_phases;
       notifier = None;
+      claimed_tids = Hashtbl.create 64;
       alive = true;
     }
   in
@@ -82,6 +86,9 @@ let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
 
 let id t = t.id
 let group t = t.group
+let claim_tid t tid = Hashtbl.replace t.claimed_tids tid ()
+let release_tid t tid = Hashtbl.remove t.claimed_tids tid
+let claims t ~tid = Hashtbl.mem t.claimed_tids tid
 let kv t = t.kv
 let cluster t = t.cluster
 let engine t = t.engine

@@ -43,6 +43,14 @@ val notifier : t -> Notifier.t
     enqueue their outcome here instead of flagging the log and calling
     the commit manager themselves. *)
 
+val claim_tid : t -> int -> unit
+val release_tid : t -> int -> unit
+
+val claims : t -> tid:int -> bool
+(** Whether a transaction with this tid is in flight on this node.
+    Claimed between [Txn.begin_txn] and the commit/abort decision; the
+    management node's tid-reclamation sweep leaves claimed tids alone. *)
+
 val alive : t -> bool
 
 val crash : t -> unit

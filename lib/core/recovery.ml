@@ -14,6 +14,7 @@ module Sim = Tell_sim
 module Kv = Tell_kv
 
 type t = {
+  engine : Sim.Engine.t;
   kv : Kv.Client.t;
   cm : Commit_manager.t;
   mutable running : bool;
@@ -22,7 +23,13 @@ type t = {
 
 let create cluster ~cm =
   let group = Kv.Cluster.mgmt_group cluster in
-  { kv = Kv.Client.create cluster ~group; cm; running = false; recovered_txns = 0 }
+  {
+    engine = Kv.Cluster.engine cluster;
+    kv = Kv.Client.create cluster ~group;
+    cm;
+    running = false;
+    recovered_txns = 0;
+  }
 
 let recovered_txns t = t.recovered_txns
 
@@ -40,7 +47,14 @@ let roll_back t (entry : Txlog.entry) =
    nodes.  Scans the log tail backwards from the highest known tid down to
    the lav (§4.4.1). *)
 let recover_processing_nodes t ~failed_pn_ids =
-  if t.running then invalid_arg "Recovery: already in progress";
+  (* The management node runs at most one recovery process at a time
+     (Â§4.4.1); a second request queues behind the current pass.  Waiting
+     matters under degraded networks: a pass can spend milliseconds in
+     client retries, and the caller's failed nodes may not be the ones the
+     running pass was started for. *)
+  while t.running do
+    Sim.Engine.sleep t.engine 100_000
+  done;
   t.running <- true;
   Fun.protect
     ~finally:(fun () -> t.running <- false)
@@ -66,5 +80,13 @@ let recover_processing_nodes t ~failed_pn_ids =
 let replace_commit_manager cluster ~dead ~fresh_id ~peers =
   ignore dead;
   let cm = Commit_manager.create cluster ~id:fresh_id ~peers () in
-  Commit_manager.recover cm;
+  (* If log recovery trips over a concurrent storage fail-over
+     (Unavailable after retries), tear the half-recovered instance down —
+     [create] already started its sync fiber, which must not keep
+     publishing a partial state — and let the caller stand up another. *)
+  (match Commit_manager.recover cm with
+  | () -> ()
+  | exception e ->
+      Commit_manager.crash cm;
+      raise e);
   cm

@@ -13,7 +13,9 @@ val create : Tell_kv.Cluster.t -> cm:Commit_manager.t -> t
 
 val recover_processing_nodes : t -> failed_pn_ids:int list -> unit
 (** Roll back every logged, uncommitted transaction of the given nodes.
-    Raises [Invalid_argument] if a recovery is already in progress. *)
+    The management node runs at most one recovery process at a time
+    (Â§4.4.1): if one is already in progress, this call waits for it to
+    finish before starting its own pass. *)
 
 val recovered_txns : t -> int
 (** Cumulative count of transactions rolled back by this process. *)

@@ -30,4 +30,5 @@ let rec remove_version kv ~key ~version ~attempts =
         end)
   end
 
-let remove_version kv ~key ~version = remove_version kv ~key ~version ~attempts:max_attempts
+let remove_version kv ~key ~version =
+  remove_version kv ~key ~version ~attempts:max_attempts

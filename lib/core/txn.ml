@@ -33,7 +33,26 @@ type t = {
   mutable status : status;
 }
 
+(* Observation hook for the check harness: fired once per successful
+   commit, after the status flips but before the asynchronous notifier
+   tail.  Zero-cost when unset; never suspends. *)
+type commit_probe =
+  tid:int -> pn_id:int -> snapshot:Version_set.t -> write_set:string list -> unit
+
+let commit_probe : commit_probe option ref = ref None
+let set_commit_probe probe = commit_probe := probe
+
+let fire_commit_probe t ~write_set =
+  match !commit_probe with
+  | None -> ()
+  | Some probe -> probe ~tid:t.tid ~pn_id:(Pn.id t.pn) ~snapshot:t.snapshot ~write_set
+
 let begin_txn ?(isolation = Snapshot_isolation) pn =
+  (* A crashed node refuses connections.  Without this, a client holding
+     a stale connection would register an active transaction with the
+     commit manager and then hang forever on the dead node's CPU queue —
+     an undecidable tid that wedges every snapshot base. *)
+  if not (Pn.alive pn) then raise (Kv.Op.Unavailable (Printf.sprintf "pn%d" (Pn.id pn)));
   (* Flush this PN's pending commit notifications first: a transaction
      must see every commit that returned on its own PN (read your own
      node's writes), so their tids have to reach the commit manager
@@ -41,6 +60,9 @@ let begin_txn ?(isolation = Snapshot_isolation) pn =
   Notifier.drain (Pn.notifier pn);
   let cm = Pn.commit_manager pn in
   let reply = Commit_manager.start cm ~from_group:(Pn.group pn) in
+  (* Claim the tid before anything can suspend: from here until the
+     commit/abort decision the reclamation sweep must treat it as live. *)
+  Pn.claim_tid pn reply.tid;
   Pn.note_started_snapshot pn reply.snapshot;
   {
     pn;
@@ -165,9 +187,24 @@ let pending_rows t ~table =
 
 (* §4.1, first conflict scenario: a version applied by a transaction that
    is not in our snapshot means a concurrent writer got there first. *)
+(* First-committer-wins, plus tid-order discipline: tids come from
+   per-manager ranges, so a transaction can hold a tid {e below} a version
+   some faster transaction (served by the other manager's range) already
+   committed to this record.  Its update would sort under that version and
+   be shadowed for every future reader ([Record.latest_visible] takes the
+   highest visible tid), silently losing the write.  Such writers must
+   abort and retry with a fresh — necessarily higher — tid.  The
+   read-to-apply race is closed by the LL/SC token: any version applied
+   after this check bumps the cell token and fails the commit-time
+   [Put_if]. *)
 let assert_no_invisible_version t record ~table ~rid =
-  if List.exists (fun v -> not (visible t v)) (Record.version_numbers record) then begin
+  if
+    List.exists
+      (fun v -> (not (visible t v)) || v > t.tid)
+      (Record.version_numbers record)
+  then begin
     t.status <- Aborted;
+    Pn.release_tid t.pn t.tid;
     Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
     raise (Conflict (Printf.sprintf "%s/%d has a newer version" table rid))
   end
@@ -281,6 +318,7 @@ let gc_index_entry t ~index ~key ~rid =
 
 let finish_abort t reason =
   t.status <- Aborted;
+  Pn.release_tid t.pn t.tid;
   Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
   raise (Conflict reason)
 
@@ -319,12 +357,13 @@ let apply_writes t writes =
         outcomes;
       `Applied
   | _ :: _ ->
-      (* Roll back the updates that did land (§4.3, 4b). *)
+      (* Roll back the updates that did land (§4.3, 4b).  The whole
+         write set is swept, not just the [Token] outcomes: an op whose
+         first attempt applied but whose reply was lost to a fail-over
+         reports [Conflict] on the retry, yet its version is in the
+         store.  [remove_version] is idempotent, so sweeping is safe. *)
       List.iter
-        (fun (key, _, _, result) ->
-          match result with
-          | Kv.Op.Token _ -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid
-          | _ -> ())
+        (fun (key, _, _, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
         outcomes;
       `Conflict
 
@@ -369,6 +408,36 @@ let maintain_indexes t writes =
        (fun index entries acc -> (Pn.btree t.pn ~index, List.rev entries) :: acc)
        by_index [])
 
+let commit_applied t ~entry ~writes ~now ~t_apply =
+  match apply_writes t writes with
+  | `Conflict -> finish_abort t "store-conditional failed"
+  | `Applied ->
+      Pn.note_commit_phase t.pn ~phase:"apply" ~ops:(List.length writes) (now () - t_apply);
+      if t.isolation = Serializable && not (validate_read_set t) then begin
+        (* A record we depended on changed: undo our applied writes. *)
+        List.iter
+          (fun (key, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
+          writes;
+        finish_abort t "serializable read validation failed"
+      end
+      else begin
+        let t_index = now () in
+        maintain_indexes t writes;
+        let n_entries =
+          List.fold_left (fun acc (_, w) -> acc + List.length w.w_index_adds) 0 writes
+        in
+        Pn.note_commit_phase t.pn ~phase:"index" ~ops:n_entries (now () - t_index);
+        (* The synchronous pipeline ends here (§4.3 step 4a is done):
+           flagging the log entry and telling the commit manager are
+           deferred to the PN's notifier, which coalesces them with
+           the outcomes of concurrent committers.  A delayed
+           decided-set can only raise the abort rate (§4.2). *)
+        t.status <- Committed;
+        Pn.release_tid t.pn t.tid;
+        fire_commit_probe t ~write_set:entry.Txlog.write_set;
+        Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~entry ~committed:true ()
+      end
+
 let commit t =
   check_running t;
   Pn.charge t.pn (Pn.cost t.pn).cpu_per_commit_ns;
@@ -378,6 +447,8 @@ let commit t =
   match writes with
   | [] ->
       t.status <- Committed;
+      Pn.release_tid t.pn t.tid;
+      fire_commit_probe t ~write_set:[];
       Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:true ()
   | _ :: _ -> (
       (* Try-commit (§4.3, step 3): log first, then apply. *)
@@ -395,34 +466,32 @@ let commit t =
       Txlog.append (Pn.kv t.pn) entry;
       Pn.note_commit_phase t.pn ~phase:"log" ~ops:1 (now () - t_log);
       let t_apply = now () in
-      match apply_writes t writes with
-      | `Conflict -> finish_abort t "store-conditional failed"
-      | `Applied ->
-          Pn.note_commit_phase t.pn ~phase:"apply" ~ops:(List.length writes) (now () - t_apply);
-          if t.isolation = Serializable && not (validate_read_set t) then begin
-            (* A record we depended on changed: undo our applied writes. *)
-            List.iter
-              (fun (key, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
-              writes;
-            finish_abort t "serializable read validation failed"
-          end
-          else begin
-            let t_index = now () in
-            maintain_indexes t writes;
-            let n_entries =
-              List.fold_left (fun acc (_, w) -> acc + List.length w.w_index_adds) 0 writes
-            in
-            Pn.note_commit_phase t.pn ~phase:"index" ~ops:n_entries (now () - t_index);
-            (* The synchronous pipeline ends here (§4.3 step 4a is done):
-               flagging the log entry and telling the commit manager are
-               deferred to the PN's notifier, which coalesces them with
-               the outcomes of concurrent committers.  A delayed
-               decided-set can only raise the abort rate (§4.2). *)
-            t.status <- Committed;
-            Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~entry ~committed:true ()
-          end)
+      try commit_applied t ~entry ~writes ~now ~t_apply
+      with
+      | Conflict _ | Finished | Tell_sim.Engine.Cancelled as e ->
+          (* Conflict: finish_abort already cleaned up.  Cancelled: the
+             PN died mid-commit; its fiber must not touch the store
+             (recovery owns the rollback). *)
+          raise e
+      | e ->
+          (* The store became unavailable mid-commit (fail-over in
+             progress, client retries exhausted).  The conditional
+             writes that did land must not outlive the unflagged log
+             entry, or a later reader sees versions of a transaction
+             that was never decided.  [remove_version] is idempotent,
+             so sweep the whole write set; by the time these (fresh)
+             client calls run their own retries, the directory has
+             usually been repaired. *)
+          List.iter
+            (fun (key, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
+            writes;
+          t.status <- Aborted;
+          Pn.release_tid t.pn t.tid;
+          Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
+          raise e)
 
 let abort t =
   check_running t;
   t.status <- Aborted;
+  Pn.release_tid t.pn t.tid;
   Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ()

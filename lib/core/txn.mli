@@ -90,6 +90,20 @@ val commit : t -> unit
 (** Raises {!Conflict} on write-write conflict (the transaction is then
     aborted); idempotent-safe against double calls via {!Finished}. *)
 
+(** {1 Observation (check harness)} *)
+
+type commit_probe =
+  tid:int -> pn_id:int -> snapshot:Version_set.t -> write_set:string list -> unit
+
+val set_commit_probe : commit_probe option -> unit
+(** Install a global hook fired once per successful {!commit} — after the
+    status flips, before the asynchronous notifier tail — with the
+    transaction's tid, its processing node, the snapshot it ran under and
+    the record keys it wrote (empty for read-only commits).  The probe
+    must not suspend.  Used by the [tell_check] invariant checker;
+    zero-cost when unset.  Global state: install/uninstall around each
+    harness run. *)
+
 val abort : t -> unit
 (** Manual abort: nothing was applied, only the commit manager is told. *)
 

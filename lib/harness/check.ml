@@ -1,0 +1,458 @@
+(* Deterministic fault-injection and schedule-exploration harness
+   (the library behind bin/tell_check.exe).
+
+   One run = one short TPC-C workload on a small Tell deployment, driven
+   entirely by the virtual clock, with faults — PN / SN / commit-manager
+   crashes, latency spikes — fired at seed-derived virtual instants and,
+   optionally, the engine's same-instant event order shuffled by a seeded
+   tie-break.  After the workload quiesces, a battery of invariants is
+   checked on the final state.  Everything is a pure function of
+   (seed, scenario): a failing run reproduces with
+   [tell_check --seed N --scenario S].
+
+   Invariants per run (see DESIGN.md §6):
+   - TPC-C consistency conditions (Consistency.check_all);
+   - unique transaction ids across all commits (a duplicate betrays a
+     broken tid-range refill, cf. the Commit_manager.next_tid guard);
+   - snapshot-isolation write-write safety: no two committed transactions
+     with intersecting write sets may be mutually invisible;
+   - monotone commit-manager state: lav and snapshot base never decrease;
+   - B+tree structural soundness of every index (Btree.check);
+   - log/notification audit: every flagged log entry is decided in a
+     freshly recovered commit manager's snapshot; unflagged entries left
+     no version residue (rollbacks completed); every acknowledged commit
+     of a never-crashed PN ends flagged;
+   - replication health: every partition ends with >= rf live replicas;
+   - snapshot liveness: after quiescing, every live manager's snapshot
+     base catches up past the highest committed tid (a wedged base
+     betrays leaked, undecidable tids — the failure mode the management
+     node's tid-reclamation sweep exists to heal). *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+module Tpcc = Tell_tpcc
+
+(* --- scenarios ------------------------------------------------------------------ *)
+
+type scenario =
+  | No_fault
+  | Sn_crash  (** storage node crashes under load; detector repairs *)
+  | Pn_crash  (** processing node crashes mid-commit; recovery rolls back *)
+  | Cm_failover  (** a commit manager dies; a replacement recovers its state *)
+  | Latency_spike  (** interconnect degradation windows *)
+  | Chaos  (** all of the above composed *)
+
+let all_scenarios = [ No_fault; Sn_crash; Pn_crash; Cm_failover; Latency_spike; Chaos ]
+
+let scenario_name = function
+  | No_fault -> "none"
+  | Sn_crash -> "sn-crash"
+  | Pn_crash -> "pn-crash"
+  | Cm_failover -> "cm-failover"
+  | Latency_spike -> "latency"
+  | Chaos -> "chaos"
+
+let scenario_of_string s =
+  List.find_opt (fun sc -> scenario_name sc = String.lowercase_ascii s) all_scenarios
+
+(* The --quick CI matrix leans on the three composite scenarios (chaos
+   subsumes latency / cm-failover events); the full sweep runs all six. *)
+let quick_scenarios = [ Sn_crash; Pn_crash; Chaos ]
+
+type outcome = {
+  o_seed : int;
+  o_scenario : scenario;
+  o_committed : int;
+  o_aborted : int;
+  o_violations : string list;
+  o_counters : (string * int) list;
+      (** deterministic run fingerprint, compared by --deterministic-audit *)
+}
+
+(* --- deployment constants -------------------------------------------------------- *)
+
+let n_sns = 4
+let rf = 2
+let n_pns = 2
+let n_cms = 2
+let n_terminals = 8
+let warehouses = 2
+let t_stop = 38_000_000 (* stop issuing transactions *)
+let t_drain = 44_000_000 (* quiesce: drain notifiers, recover PNs *)
+let t_audit = 48_000_000 (* run the invariant battery *)
+let t_end = 250_000_000 (* virtual horizon (audit walks take virtual time) *)
+
+type probe = {
+  p_tid : int;
+  p_pn : int;
+  p_snapshot : Version_set.t;
+  p_writes : string list;
+}
+
+(* --- one run --------------------------------------------------------------------- *)
+
+let run_one ~seed ~scenario ?(perturb = true) () =
+  let engine = Sim.Engine.create () in
+  if perturb then
+    Sim.Engine.set_tie_break engine (Some (Sim.Rng.make ((seed * 48271) + 7)));
+  let fault_rng = Sim.Rng.make ((seed * 1_000_003) + 17) in
+  let scale = Tpcc.Spec.sim_scale ~warehouses in
+  let kv_config =
+    {
+      Kv.Cluster.default_config with
+      n_storage_nodes = n_sns;
+      replication_factor = rf;
+      seed;
+    }
+  in
+  let db = Database.create engine ~kv_config ~n_commit_managers:n_cms () in
+  let cluster = Database.cluster db in
+  let pns = List.init n_pns (fun _ -> Database.add_pn db ()) in
+  let _ = Tpcc.Loader.load cluster ~scale ~seed:(seed + 1) in
+  let tell = Tpcc.Tell_engine.create db ~pns ~scale in
+
+  let committed = ref 0 in
+  let aborted = ref 0 in
+  let user_aborts = ref 0 in
+  let unavailable = ref 0 in
+  let rolled_back = ref 0 in
+  let stopped = ref false in
+  let violations = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let probes = ref [] in
+  let crashed_pn_ids = ref [] in
+  (* Commit managers the monitor watches: the initial ones plus any
+     replacement stood up by a fail-over scenario. *)
+  let cms = ref (Database.commit_managers db) in
+
+  Txn.set_commit_probe
+    (Some
+       (fun ~tid ~pn_id ~snapshot ~write_set ->
+         probes := { p_tid = tid; p_pn = pn_id; p_snapshot = snapshot; p_writes = write_set }
+                   :: !probes));
+
+  (* Terminals run in their PN's group, like threads on the node: a PN
+     crash cancels them mid-transaction — exactly the partially-applied
+     states recovery must handle.  A client retries on [Unavailable]
+     (e.g. its commit manager died mid-RPC). *)
+  let workload_rng = Sim.Rng.make (seed + 2) in
+  let next_terminal = ref 0 in
+  let pn_index pn = if pn == List.nth pns 0 then 0 else 1 in
+  let spawn_terminal pn =
+    (* [Tell_engine.connect] routes terminal_id mod n_pns onto the frozen
+       PN list, so pick the next id whose residue lands on [pn] — a
+       re-manned terminal must not reconnect to the node that died. *)
+    let rec fresh_id () =
+      let id = !next_terminal in
+      incr next_terminal;
+      if id mod n_pns = pn_index pn then id else fresh_id ()
+    in
+    let terminal_id = fresh_id () in
+    let term_rng = Sim.Rng.split workload_rng in
+    Sim.Engine.spawn engine ~group:(Pn.group pn) (fun () ->
+        let conn = Tpcc.Tell_engine.connect tell ~terminal_id in
+        let home_w = (terminal_id mod scale.warehouses) + 1 in
+        while not !stopped do
+          let input = Tpcc.Spec.gen_txn term_rng ~scale ~mix:Tpcc.Spec.standard_mix ~home_w in
+          match Tpcc.Tell_engine.execute conn input with
+          | Tpcc.Engine_intf.Committed -> incr committed
+          | Tpcc.Engine_intf.Aborted _ -> incr aborted
+          | Tpcc.Engine_intf.User_abort -> incr user_aborts
+          | exception Kv.Op.Unavailable _ ->
+              incr unavailable;
+              Sim.Engine.sleep engine 50_000
+        done)
+  in
+  let pn_arr = Array.of_list pns in
+  for i = 0 to n_terminals - 1 do
+    spawn_terminal pn_arr.(i mod n_pns)
+  done;
+
+  (* Monitor: commit-manager lav and snapshot base must never decrease
+     (per manager instance; a replacement starts a fresh history). *)
+  let monitor_state : (Commit_manager.t * int ref * int ref) list ref = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      while Sim.Engine.now engine < t_audit do
+        Sim.Engine.sleep engine 500_000;
+        List.iter
+          (fun cm ->
+            if Commit_manager.alive cm then begin
+              let entry =
+                match List.find_opt (fun (c, _, _) -> c == cm) !monitor_state with
+                | Some e -> e
+                | None ->
+                    let e = (cm, ref min_int, ref min_int) in
+                    monitor_state := e :: !monitor_state;
+                    e
+              in
+              let _, last_lav, last_base = entry in
+              let lav = Commit_manager.current_lav cm in
+              let base = Version_set.base (Commit_manager.current_snapshot cm) in
+              if lav < !last_lav then
+                note "cm%d lav went backwards: %d -> %d" (Commit_manager.id cm) !last_lav lav;
+              if base < !last_base then
+                note "cm%d snapshot base went backwards: %d -> %d" (Commit_manager.id cm)
+                  !last_base base;
+              last_lav := max !last_lav lav;
+              last_base := max !last_base base
+            end)
+          !cms
+      done);
+
+  (* Fault script: all instants derive from [fault_rng] — never from the
+     wall clock — so the schedule is a pure function of the seed. *)
+  let at time f = Sim.Engine.spawn engine (fun () -> Sim.Engine.sleep engine time; f ()) in
+  let ms n = n * 1_000_000 in
+  let crash_sn () =
+    let victim = Sim.Rng.int fault_rng n_sns in
+    at (ms 8 + Sim.Rng.int fault_rng (ms 15)) (fun () -> Database.crash_storage_node db victim);
+    victim
+  in
+  let crash_pn_with_recovery () =
+    let victim = pn_arr.(Sim.Rng.int fault_rng n_pns) in
+    let t_crash = ms 8 + Sim.Rng.int fault_rng (ms 15) in
+    let t_recover = t_crash + ms 3 + Sim.Rng.int fault_rng (ms 3) in
+    at t_crash (fun () ->
+        crashed_pn_ids := Pn.id victim :: !crashed_pn_ids;
+        Database.crash_pn db victim);
+    at t_recover (fun () ->
+        rolled_back := !rolled_back + Database.recover_crashed_pns db;
+        (* Clients reconnect: re-man the dead node's terminals on a
+           survivor. *)
+        match Database.pns db with
+        | survivor :: _ ->
+            for _ = 1 to n_terminals / n_pns do
+              spawn_terminal survivor
+            done
+        | [] -> ())
+  in
+  let crash_cm_with_replacement () =
+    let all = Array.of_list (Database.commit_managers db) in
+    let victim = all.(Sim.Rng.int fault_rng (Array.length all)) in
+    let t_crash = ms 8 + Sim.Rng.int fault_rng (ms 15) in
+    at t_crash (fun () -> Commit_manager.crash victim);
+    at (t_crash + ms 2) (fun () ->
+        (* The replacement takes over the dead manager's identity (its
+           published-state slot), so the surviving peers resume merging
+           its decisions — §4.4.3. *)
+        (* The management node retries if recovery trips over a storage
+           fail-over still re-pointing the log partitions. *)
+        let rec stand_up () =
+          match Database.replace_commit_manager db ~dead:victim with
+          | fresh -> cms := fresh :: !cms
+          | exception Kv.Op.Unavailable _ ->
+              Sim.Engine.sleep engine (ms 2);
+              stand_up ()
+        in
+        stand_up ())
+  in
+  let latency_spikes n =
+    for _ = 1 to n do
+      let from_ns = ms 8 + Sim.Rng.int fault_rng (ms 18) in
+      let until_ns = from_ns + ms 2 + Sim.Rng.int fault_rng (ms 5) in
+      let factor = 4.0 +. float_of_int (Sim.Rng.int fault_rng 8) in
+      let extra_ns = 10_000 + Sim.Rng.int fault_rng 40_000 in
+      Kv.Cluster.inject_latency_spike cluster ~from_ns ~until_ns ~factor ~extra_ns ()
+    done
+  in
+  (match scenario with
+  | No_fault -> ()
+  | Sn_crash -> ignore (crash_sn ())
+  | Pn_crash -> crash_pn_with_recovery ()
+  | Cm_failover -> crash_cm_with_replacement ()
+  | Latency_spike -> latency_spikes 2
+  | Chaos ->
+      latency_spikes 1;
+      let sn = crash_sn () in
+      at (ms 30) (fun () -> Kv.Cluster.restart_node cluster sn);
+      crash_pn_with_recovery ();
+      crash_cm_with_replacement ());
+
+  (* Quiesce and audit. *)
+  let audit_done = ref false in
+  let counters = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      Sim.Engine.sleep engine t_stop;
+      stopped := true;
+      Sim.Engine.sleep engine (t_drain - t_stop);
+      (* Acknowledge everything: flag committed log entries and push the
+         decisions to the commit managers (with_txn semantics). *)
+      List.iter (fun pn -> Notifier.drain (Pn.notifier pn)) (Database.pns db);
+      rolled_back := !rolled_back + Database.recover_crashed_pns db;
+      Sim.Engine.sleep engine (t_audit - t_drain);
+
+      let probes = !probes in
+      let pn = List.hd (Database.pns db) in
+      let kv = Pn.kv pn in
+
+      (* 1. TPC-C consistency conditions. *)
+      List.iter (fun v -> note "consistency: %s" v) (Tpcc.Consistency.check_all pn ~scale);
+
+      (* 2. Unique transaction ids. *)
+      let seen = Hashtbl.create 1024 in
+      List.iter
+        (fun p ->
+          (match Hashtbl.find_opt seen p.p_tid with
+          | Some prev -> note "duplicate tid %d committed on pn%d and pn%d" p.p_tid prev p.p_pn
+          | None -> ());
+          Hashtbl.replace seen p.p_tid p.p_pn)
+        probes;
+
+      (* 3. SI write-write safety: committed writers of the same record
+         must be ordered by their snapshots (first-committer-wins). *)
+      let writers = Hashtbl.create 4096 in
+      List.iter
+        (fun p ->
+          List.iter
+            (fun key ->
+              Hashtbl.replace writers key
+                (p :: Option.value ~default:[] (Hashtbl.find_opt writers key)))
+            p.p_writes)
+        probes;
+      let reported = Hashtbl.create 64 in
+      Hashtbl.iter
+        (fun key ps ->
+          let rec pairs = function
+            | [] -> ()
+            | a :: rest ->
+                List.iter
+                  (fun b ->
+                    if
+                      a.p_tid <> b.p_tid
+                      && (not (Version_set.mem a.p_snapshot b.p_tid))
+                      && (not (Version_set.mem b.p_snapshot a.p_tid))
+                      && not (Hashtbl.mem reported (min a.p_tid b.p_tid, max a.p_tid b.p_tid))
+                    then begin
+                      Hashtbl.replace reported (min a.p_tid b.p_tid, max a.p_tid b.p_tid) ();
+                      note "write-write conflict pair committed: tids %d and %d on %S"
+                        a.p_tid b.p_tid key
+                    end)
+                  rest;
+                pairs rest
+          in
+          pairs ps)
+        writers;
+
+      (* 4. B+tree structural soundness of every index. *)
+      List.iter
+        (fun table ->
+          List.iter
+            (fun (idx : Schema.index) ->
+              List.iter (fun v -> note "btree: %s" v) (Btree.check (Pn.btree pn ~index:idx.idx_name)))
+            (Schema.all_indexes table))
+        (Database.tables db);
+
+      (* 5. Log / notification audit against a freshly recovered commit
+         manager: its state is rebuilt from the published peer states and
+         the flagged log tail, so it knows every decision that can still
+         matter. *)
+      let audit_cm =
+        Recovery.replace_commit_manager cluster ~dead:(-1) ~fresh_id:97
+          ~peers:(List.map Commit_manager.id (Database.commit_managers db))
+      in
+      let audit_snapshot = Commit_manager.current_snapshot audit_cm in
+      let entries = Txlog.scan kv ~min_tid:0 in
+      let flagged = Hashtbl.create 1024 in
+      List.iter
+        (fun (e : Txlog.entry) ->
+          if e.committed then begin
+            Hashtbl.replace flagged e.tid ();
+            if not (Version_set.mem audit_snapshot e.tid) then
+              note "lost notification: flagged log entry %d not decided after recovery" e.tid
+          end
+          else begin
+            (* Aborted or rolled back: no version residue may remain. *)
+            let states = Kv.Client.multi_get kv e.write_set in
+            List.iter2
+              (fun key state ->
+                match state with
+                | None -> ()
+                | Some (data, _token) ->
+                    if List.mem e.tid (Record.version_numbers (Record.decode data)) then
+                      note "rollback residue: version %d of %S survives its unflagged log entry"
+                        e.tid key)
+              e.write_set states
+          end)
+        entries;
+      List.iter
+        (fun p ->
+          if p.p_writes <> [] && not (Hashtbl.mem flagged p.p_tid) then
+            if List.mem p.p_pn !crashed_pn_ids then ()
+              (* acknowledged only tentatively: its PN died before the
+                 notifier flushed, recovery rolled it back (checked above) *)
+            else note "acknowledged commit %d on healthy pn%d never flagged in the log" p.p_tid p.p_pn)
+        probes;
+
+      (* 6. Replication health restored. *)
+      let live_repl = Kv.Cluster.min_live_replication cluster in
+      if live_repl < rf then
+        note "replication not restored: min live replicas %d < rf %d" live_repl rf;
+
+      (* 7. Snapshot liveness: once the workload stops, every live
+         manager retires its stale range tail (within retire_after_ns)
+         and the snapshot base must catch up past every committed tid.
+         A base stuck below one betrays leaked tids — e.g. a range
+         abandoned by a double refill — which would hold version GC and
+         every snapshot's visibility floor back forever. *)
+      let max_committed = List.fold_left (fun a p -> max a p.p_tid) 0 probes in
+      List.iter
+        (fun cm ->
+          if Commit_manager.alive cm then begin
+            let base = Version_set.base (Commit_manager.current_snapshot cm) in
+            if base < max_committed then
+              note "cm%d snapshot base wedged at %d below committed tid %d"
+                (Commit_manager.id cm) base max_committed
+          end)
+        !cms;
+
+      counters :=
+        [
+          ("committed", !committed);
+          ("aborted", !aborted);
+          ("user_aborts", !user_aborts);
+          ("unavailable", !unavailable);
+          ("rolled_back", !rolled_back);
+          ("probes", List.length probes);
+          ("max_tid", List.fold_left (fun a p -> max a p.p_tid) 0 probes);
+          ("log_entries", List.length entries);
+          ("audit_base", Version_set.base audit_snapshot);
+          ("audit_max", Version_set.max_elt audit_snapshot);
+          ("net_bytes", Sim.Net.bytes_sent (Kv.Cluster.net cluster));
+          ("bytes_stored", Kv.Cluster.total_bytes_stored cluster);
+          ("live_nodes", Kv.Cluster.live_nodes cluster);
+          ("min_live_replication", live_repl);
+        ];
+      audit_done := true);
+
+  Fun.protect
+    ~finally:(fun () -> Txn.set_commit_probe None)
+    (fun () -> Sim.Engine.run engine ~until:t_end ());
+  if not !audit_done then note "audit did not complete before the virtual horizon";
+  {
+    o_seed = seed;
+    o_scenario = scenario;
+    o_committed = !committed;
+    o_aborted = !aborted;
+    o_violations = List.rev !violations;
+    o_counters = !counters;
+  }
+
+(* --- determinism audit ----------------------------------------------------------- *)
+
+(* Run one (seed, scenario) twice and compare the counter fingerprints:
+   any divergence betrays wall-clock or global-[Random] leakage into the
+   simulation. *)
+let determinism_audit ~seed ~scenario ?(perturb = true) () =
+  let a = run_one ~seed ~scenario ~perturb () in
+  let b = run_one ~seed ~scenario ~perturb () in
+  let divergences =
+    List.concat_map
+      (fun (name, va) ->
+        match List.assoc_opt name b.o_counters with
+        | Some vb when vb = va -> []
+        | Some vb -> [ Printf.sprintf "%s: %d vs %d" name va vb ]
+        | None -> [ Printf.sprintf "%s: %d vs (missing)" name va ])
+      a.o_counters
+  in
+  (a, divergences)

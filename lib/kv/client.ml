@@ -117,9 +117,10 @@ and run_batch t ~sn_id lane batch =
        List.fold_left (fun acc p -> acc + Op.request_bytes p.op) 32 batch
      in
      Sim.Net.transfer net ~bytes:request_bytes;
-     if not (Storage_node.alive node) then begin
-       (* The request vanishes into a dead node: clients only learn
-          through a timeout. *)
+     if not (Storage_node.serving node) then begin
+       (* The request vanishes into a dead node — or reaches a restarted
+          one that owns no partitions yet and must not answer for them:
+          clients only learn through a timeout. *)
        Sim.Engine.sleep (engine t) (Cluster.config t.cluster).client_timeout_ns;
        let err = Op.Unavailable (Printf.sprintf "sn%d" sn_id) in
        List.iter (fun p -> Sim.Ivar.fill_exn p.reply err) batch
@@ -207,10 +208,17 @@ let submit_many t ops =
   Hashtbl.iter (fun sn_id lane -> kick t sn_id lane) touched;
   replies
 
+(* Back off exponentially: a fail-over re-points a dead node's
+   partitions one at a time while streaming their data between survivors,
+   so a chain can keep routing to the dead master for several
+   milliseconds (longer still on a degraded interconnect).  Flat pauses
+   would exhaust the whole retry budget before the directory settles. *)
+let backoff_ns ~attempts = 20_000 * (1 lsl (max_retries - attempts))
+
 let rec with_retry t ~attempts f =
   try f ()
   with Op.Unavailable _ when attempts > 0 ->
-    Sim.Engine.sleep (engine t) 20_000;
+    Sim.Engine.sleep (engine t) (backoff_ns ~attempts);
     refresh_directory t;
     with_retry t ~attempts:(attempts - 1) f
 
@@ -251,10 +259,35 @@ let multi_get t keys =
       let replies = submit_many t (List.map (fun k -> Op.Get k) keys) in
       List.map (fun r -> expect_value (Sim.Ivar.read r)) replies)
 
+(* Unlike [multi_get], a failed write batch must NOT be retried
+   wholesale: a conditional write that already landed would observe its
+   own first attempt on the re-send and report a spurious [Conflict] —
+   which the committer then treats as lost, leaking the first attempt's
+   version (fail-over, §4.4.2).  Only the operations whose replies came
+   back [Unavailable] are re-submitted. *)
 let multi_write t ops =
-  with_retry t ~attempts:max_retries (fun () ->
-      let replies = submit_many t ops in
-      List.map Sim.Ivar.read replies)
+  let results = Array.make (List.length ops) Op.Done in
+  let rec go attempts pending =
+    let replies = submit_many t (List.map snd pending) in
+    let failed =
+      List.fold_left2
+        (fun acc (i, op) reply ->
+          match Sim.Ivar.read reply with
+          | result ->
+              results.(i) <- result;
+              acc
+          | exception Op.Unavailable _ when attempts > 0 -> (i, op) :: acc)
+        [] pending replies
+    in
+    match List.rev failed with
+    | [] -> ()
+    | failed ->
+        Sim.Engine.sleep (engine t) (backoff_ns ~attempts);
+        refresh_directory t;
+        go (attempts - 1) failed
+  in
+  go max_retries (List.mapi (fun i op -> (i, op)) ops);
+  Array.to_list results
 
 let scan_with t ~op_of =
   with_retry t ~attempts:max_retries (fun () ->
@@ -263,8 +296,10 @@ let scan_with t ~op_of =
       Array.iteri
         (fun sn_id node ->
           (* Backups hold copies of master data, so scanning every live
-             node (and deduplicating below) observes all cells. *)
-          if Storage_node.alive node then begin
+             node (and deduplicating below) observes all cells.  A
+             restarted, not-yet-serving node is skipped: it holds nothing
+             and would only time the scan out. *)
+          if Storage_node.serving node then begin
             let lane = t.lanes.(sn_id) in
             let reply = Sim.Ivar.create (engine t) in
             Queue.push { op = op_of (); reply } lane.queued;

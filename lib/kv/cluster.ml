@@ -84,6 +84,28 @@ let mgmt_cpu t = t.mgmt_cpu
 let mgmt_group t = t.mgmt_group
 let crash_node t i = Storage_node.crash t.nodes.(i)
 
+let restart_node t i =
+  Storage_node.restart t.nodes.(i);
+  (* Forget the repair mark so the failure detector handles a future
+     crash of this node again. *)
+  t.handled_crashes <- List.filter (fun id -> id <> i) t.handled_crashes
+
+let inject_latency_spike t ~from_ns ~until_ns ?factor ?extra_ns () =
+  Sim.Net.inject_fault t.net ~from_ns ~until_ns ?factor ?extra_ns ()
+
+let min_live_replication t =
+  let worst = ref max_int in
+  for p = 0 to Directory.n_partitions t.directory - 1 do
+    let live =
+      List.fold_left
+        (fun acc n -> if Storage_node.alive t.nodes.(n) then acc + 1 else acc)
+        0
+        (Directory.replicas t.directory p)
+    in
+    if live < !worst then worst := live
+  done;
+  if !worst = max_int then 0 else !worst
+
 let live_nodes t =
   Array.fold_left (fun acc n -> if Storage_node.alive n then acc + 1 else acc) 0 t.nodes
 
@@ -134,11 +156,14 @@ let repair_after_crash t ~dead =
           (* RF1: the partition's data is lost; keep routing somewhere so
              the system stays available for new writes. *)
           (match pick_new_backup t ~exclude:[] with
-          | Some fresh -> Directory.set_replicas t.directory p [ fresh ]
+          | Some fresh ->
+              Storage_node.set_serving t.nodes.(fresh) true;
+              Directory.set_replicas t.directory p [ fresh ]
           | None -> ())
       | _ :: _ -> (
           match pick_new_backup t ~exclude:survivors with
           | Some fresh ->
+              Storage_node.set_serving t.nodes.(fresh) true;
               Directory.set_replicas t.directory p (survivors @ [ fresh ]);
               re_replicate t ~partition:p ~target:fresh
           | None -> Directory.set_replicas t.directory p survivors)

@@ -52,6 +52,22 @@ val start_failure_detector : t -> unit
     (useful for tests that want to observe raw unavailability). *)
 
 val crash_node : t -> int -> unit
+
+val restart_node : t -> int -> unit
+(** Revive a crashed node, empty (DRAM volatility), ready to serve as a
+    backup target for future repairs.  Clears its handled-crash mark so
+    the failure detector reacts to a later crash of the same node. *)
+
+val inject_latency_spike :
+  t -> from_ns:int -> until_ns:int -> ?factor:float -> ?extra_ns:int -> unit -> unit
+(** Degrade the cluster interconnect for a virtual-time window — see
+    {!Tell_sim.Net.inject_fault}.  Fault-scenario hook for [tell_check]. *)
+
+val min_live_replication : t -> int
+(** The minimum, over all partitions, of the number of {e live} replicas
+    — the cluster's current worst-case redundancy.  Equals the
+    replication factor when every chain is healthy. *)
+
 val live_nodes : t -> int
 val total_bytes_stored : t -> int
 

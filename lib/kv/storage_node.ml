@@ -11,6 +11,11 @@ type t = {
   base_service_ns : int;
   per_byte_service_ns : float;
   mutable alive : bool;
+  mutable serving : bool;
+      (* A restarted node is alive (heartbeats answer) but owns no
+         partitions until the management node re-adds it to a chain;
+         stale client directories must not read its empty store as
+         authoritative. *)
   mutable evaluator : (program:string -> key:Op.key -> data:string -> string option) option;
 }
 
@@ -27,16 +32,29 @@ let create engine ~id ~cores ~capacity_bytes ~base_service_ns ~per_byte_service_
     base_service_ns;
     per_byte_service_ns;
     alive = true;
+    serving = true;
     evaluator = None;
   }
 
 let id t = t.id
 let alive t = t.alive
+let serving t = t.alive && t.serving
+let set_serving t flag = t.serving <- flag
 let group t = t.group
 
 let crash t =
   t.alive <- false;
   Tell_sim.Engine.Group.kill t.group
+
+(* DRAM volatility: a restarted node comes back empty and re-joins as a
+   candidate backup; the directory no longer routes to it until the
+   management node picks it for a future repair. *)
+let restart t =
+  Hashtbl.reset t.cells;
+  t.bytes_stored <- 0;
+  t.alive <- true;
+  t.serving <- false;
+  Tell_sim.Engine.Group.revive t.group
 
 let bytes_stored t = t.bytes_stored
 let capacity_bytes t = t.capacity_bytes

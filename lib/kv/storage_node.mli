@@ -20,11 +20,25 @@ val create :
 
 val id : t -> int
 val alive : t -> bool
+
+val serving : t -> bool
+(** Alive {e and} owning at least the partitions the directory assigned
+    it.  A freshly restarted node is alive but not serving: its store is
+    empty, so answering a (stale-directory) client's read would present
+    missing data as authoritative.  Clients treat a non-serving node like
+    a dead one — time out, refresh the directory, retry. *)
+
+val set_serving : t -> bool -> unit
 val group : t -> Tell_sim.Engine.Group.t
 
 val crash : t -> unit
 (** Mark the node dead and kill its fibers.  Its memory content is
     considered lost (DRAM volatility). *)
+
+val restart : t -> unit
+(** Bring a crashed node back {e empty} (its DRAM content was lost) and
+    alive.  It serves again as a re-replication target; it holds no
+    partitions until the management node assigns it some. *)
 
 val bytes_stored : t -> int
 val capacity_bytes : t -> int

@@ -14,21 +14,24 @@ type t = {
   mutable clock : int;
   events : (unit -> unit) Heap.t;
   root : Group.t;
+  mutable tie_break : Rng.t option;
 }
 
 type resume = { resume : unit -> unit; cancel : exn -> unit }
 
 type _ Effect.t += Suspend : (resume -> unit) -> unit Effect.t
 
-let create () = { clock = 0; events = Heap.create (); root = Group.make "root" }
+let create () = { clock = 0; events = Heap.create (); root = Group.make "root"; tie_break = None }
 
 let now t = t.clock
 let root_group t = t.root
 let make_group _t label = Group.make label
+let set_tie_break t rng = t.tie_break <- rng
 
 let schedule t ?(delay = 0) f =
   assert (delay >= 0);
-  Heap.push t.events ~time:(t.clock + delay) f
+  let prio = match t.tie_break with None -> 0 | Some rng -> Rng.int rng 0x3FFFFFFF in
+  Heap.push t.events ~time:(t.clock + delay) ~prio f
 
 (* Run fiber [f] under a deep effect handler.  The handler turns every
    [Suspend] into a one-shot resume record whose [resume] re-checks the

@@ -62,6 +62,17 @@ val schedule : t -> ?delay:int -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs callback [f] (not a fiber: it must not
     suspend) after [delay] ns of virtual time. *)
 
+val set_tie_break : t -> Rng.t option -> unit
+(** Install (or, with [None], remove) a seeded schedule perturbation:
+    every event subsequently scheduled draws a random tie-break rank from
+    the given stream, so events that land on the {e same} virtual instant
+    fire in a seed-dependent order instead of FIFO.  Event times are
+    untouched.  Distinct seeds explore distinct interleavings of
+    concurrently-ready fibers while each seed remains fully reproducible —
+    the schedule-exploration knob of the [tell_check] harness.  Correct
+    simulations must not depend on same-instant ordering; leave this
+    [None] (the default) for calibrated benchmark runs. *)
+
 val run : t -> ?until:int -> unit -> unit
 (** Process events in timestamp order.  Stops when the event queue drains
     or, if [until] is given, just before the first event later than

@@ -1,9 +1,12 @@
-(* Binary min-heap of timestamped events.  Ordering key is [(time, seq)]:
-   [seq] is a monotonically increasing tie-breaker so that events scheduled
-   at the same virtual instant fire in FIFO order, which keeps simulations
+(* Binary min-heap of timestamped events.  Ordering key is
+   [(time, prio, seq)]: [prio] is an optional caller-provided tie-break
+   rank (0 by default) and [seq] is a monotonically increasing counter, so
+   that events scheduled at the same virtual instant fire in FIFO order
+   unless the caller deliberately perturbs them.  Either way the order is
+   a pure function of the push sequence, which keeps simulations
    deterministic. *)
 
-type 'a entry = { time : int; seq : int; payload : 'a }
+type 'a entry = { time : int; prio : int; seq : int; payload : 'a }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -11,7 +14,7 @@ type 'a t = {
   mutable next_seq : int;
 }
 
-let dummy payload = { time = 0; seq = 0; payload }
+let dummy payload = { time = 0; prio = 0; seq = 0; payload }
 
 let create () = { data = [||]; size = 0; next_seq = 0 }
 
@@ -19,7 +22,9 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let precedes a b =
+  a.time < b.time
+  || (a.time = b.time && (a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)))
 
 let grow t entry =
   let capacity = Array.length t.data in
@@ -54,8 +59,8 @@ let rec sift_down data size i =
     end
   end
 
-let push t ~time payload =
-  let entry = { time; seq = t.next_seq; payload } in
+let push t ~time ?(prio = 0) payload =
+  let entry = { time; prio; seq = t.next_seq; payload } in
   t.next_seq <- t.next_seq + 1;
   grow t entry;
   t.data.(t.size) <- entry;

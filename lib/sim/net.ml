@@ -18,21 +18,48 @@ let profile_of_string = function
   | "ethernet-10g" | "ethernet" | "eth" -> Some ethernet_10g
   | _ -> None
 
+(* A fault window degrades every delay sampled while the virtual clock is
+   inside [from_ns, until_ns): the sampled latency is multiplied by
+   [factor] and [extra_ns] is added on top.  Windows are installed at
+   seed-derived virtual times by the fault-injection harness; expired
+   windows are swept lazily. *)
+type fault = { from_ns : int; until_ns : int; factor : float; extra_ns : int }
+
 type t = {
   engine : Engine.t;
   rng : Rng.t;
   profile : profile;
   mutable bytes_sent : int;
+  mutable faults : fault list;
 }
 
-let create engine rng profile = { engine; rng; profile; bytes_sent = 0 }
+let create engine rng profile = { engine; rng; profile; bytes_sent = 0; faults = [] }
 let profile t = t.profile
+
+let inject_fault t ~from_ns ~until_ns ?(factor = 1.0) ?(extra_ns = 0) () =
+  if until_ns > from_ns then
+    t.faults <- { from_ns; until_ns; factor; extra_ns } :: t.faults
+
+let clear_faults t = t.faults <- []
+
+let apply_faults t d =
+  match t.faults with
+  | [] -> d
+  | _ :: _ ->
+      let now = Engine.now t.engine in
+      t.faults <- List.filter (fun f -> f.until_ns > now) t.faults;
+      List.fold_left
+        (fun d f ->
+          if now >= f.from_ns then
+            int_of_float (float_of_int d *. f.factor) + f.extra_ns
+          else d)
+        d t.faults
 
 let delay t ~bytes =
   let p = t.profile in
   let nominal = float_of_int p.base_latency_ns +. (p.per_byte_ns *. float_of_int bytes) in
   let sampled = Rng.gaussian t.rng ~mean:nominal ~stddev:(nominal *. p.jitter) in
-  int_of_float (Float.max sampled (0.5 *. nominal))
+  apply_faults t (int_of_float (Float.max sampled (0.5 *. nominal)))
 
 let transfer t ~bytes =
   t.bytes_sent <- t.bytes_sent + bytes;

@@ -26,6 +26,17 @@ val profile : t -> profile
 val delay : t -> bytes:int -> int
 (** Sample the one-way delay for a message of [bytes] payload bytes. *)
 
+val inject_fault :
+  t -> from_ns:int -> until_ns:int -> ?factor:float -> ?extra_ns:int -> unit -> unit
+(** Install a latency-degradation window: every delay sampled while the
+    virtual clock is in [\[from_ns, until_ns)] is multiplied by [factor]
+    (default 1.0) and increased by [extra_ns] (default 0).  Windows may
+    overlap (they compose); expired windows are swept automatically.
+    Fault-injection hook for the [tell_check] harness — times must be
+    virtual, never wall-clock, to preserve seed determinism. *)
+
+val clear_faults : t -> unit
+
 val transfer : t -> bytes:int -> unit
 (** Suspend the calling fiber for one sampled one-way delay and account
     the bytes. *)

@@ -1,0 +1,140 @@
+(* Fault tolerance under load (§4.4) and the tell_check harness itself:
+   storage-node crash + detector repair with concurrent TPC-C terminals,
+   the fault-scenario matrix, the seed-determinism contract, network
+   fault-window injection, and schedule perturbation. *)
+
+module Sim = Tell_sim
+module Kv = Tell_kv
+open Tell_core
+module Tpcc = Tell_tpcc
+module Check = Tell_harness.Check
+
+(* --- storage-node crash + repair under concurrent TPC-C load --------------------- *)
+
+let test_sn_crash_under_load () =
+  let engine = Sim.Engine.create () in
+  let kv_config =
+    { Kv.Cluster.default_config with n_storage_nodes = 4; replication_factor = 2 }
+  in
+  let db = Database.create engine ~kv_config () in
+  let pn1 = Database.add_pn db () in
+  let pn2 = Database.add_pn db () in
+  let scale = Tpcc.Spec.sim_scale ~warehouses:2 in
+  let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:1 in
+  let tell = Tpcc.Tell_engine.create db ~pns:[ pn1; pn2 ] ~scale in
+  let committed = ref 0 and stop = ref false in
+  let rng = Sim.Rng.make 11 in
+  for terminal_id = 0 to 7 do
+    let term_rng = Sim.Rng.split rng in
+    let pn = if terminal_id mod 2 = 0 then pn1 else pn2 in
+    Sim.Engine.spawn engine ~group:(Pn.group pn) (fun () ->
+        let conn = Tpcc.Tell_engine.connect tell ~terminal_id in
+        let home_w = (terminal_id mod scale.warehouses) + 1 in
+        while not !stop do
+          let input =
+            Tpcc.Spec.gen_txn term_rng ~scale ~mix:Tpcc.Spec.standard_mix ~home_w
+          in
+          match Tpcc.Tell_engine.execute conn input with
+          | Tpcc.Engine_intf.Committed -> incr committed
+          | Tpcc.Engine_intf.Aborted _ | Tpcc.Engine_intf.User_abort -> ()
+          | exception Kv.Op.Unavailable _ -> Sim.Engine.sleep engine 50_000
+        done)
+  done;
+  let committed_after_crash = ref 0 in
+  let redundancy_restored = ref false in
+  let violations = ref [ "audit did not run" ] in
+  Sim.Engine.spawn engine (fun () ->
+      Sim.Engine.sleep engine 10_000_000;
+      let before = !committed in
+      Database.crash_storage_node db 0;
+      (* The failure detector notices the dead node and re-replicates its
+         partitions onto the survivors. *)
+      Sim.Engine.sleep engine 20_000_000;
+      committed_after_crash := !committed - before;
+      redundancy_restored :=
+        Kv.Cluster.min_live_replication (Database.cluster db) = kv_config.replication_factor;
+      stop := true;
+      Sim.Engine.sleep engine 5_000_000;
+      violations := Tpcc.Consistency.check_all pn1 ~scale);
+  Sim.Engine.run engine ~until:10_000_000_000 ();
+  Alcotest.(check bool) "progress after the crash" true (!committed_after_crash > 0);
+  Alcotest.(check bool) "detector restored full redundancy" true !redundancy_restored;
+  Alcotest.(check (list string)) "TPC-C consistency" [] !violations
+
+(* --- harness scenario matrix ----------------------------------------------------- *)
+
+let run_scenario seed scenario =
+  let o = Check.run_one ~seed ~scenario () in
+  Alcotest.(check (list string))
+    (Printf.sprintf "seed %d %s: no violations" seed (Check.scenario_name scenario))
+    [] o.Check.o_violations;
+  Alcotest.(check bool)
+    (Printf.sprintf "seed %d %s: made progress" seed (Check.scenario_name scenario))
+    true
+    (o.Check.o_committed > 0)
+
+let test_scenarios () =
+  run_scenario 101 Check.Sn_crash;
+  run_scenario 102 Check.Pn_crash;
+  run_scenario 103 Check.Cm_failover;
+  run_scenario 104 Check.Chaos
+
+(* --- seed determinism ------------------------------------------------------------ *)
+
+let test_determinism_audit () =
+  let outcome, divergences = Check.determinism_audit ~seed:7 ~scenario:Check.Chaos () in
+  Alcotest.(check (list string)) "replay diverged" [] divergences;
+  Alcotest.(check (list string)) "no violations" [] outcome.Check.o_violations
+
+(* The ready-queue tie-break shuffle must change the schedule (otherwise
+   the sweep explores one interleaving per scenario), while both
+   schedules keep every invariant. *)
+let test_tie_break_perturbation () =
+  let base = Check.run_one ~seed:9 ~scenario:Check.Sn_crash ~perturb:false () in
+  let shuffled = Check.run_one ~seed:9 ~scenario:Check.Sn_crash ~perturb:true () in
+  Alcotest.(check (list string)) "unperturbed passes" [] base.Check.o_violations;
+  Alcotest.(check (list string)) "perturbed passes" [] shuffled.Check.o_violations;
+  Alcotest.(check bool)
+    "perturbation changed the schedule" true
+    (base.Check.o_counters <> shuffled.Check.o_counters)
+
+(* --- network fault windows ------------------------------------------------------- *)
+
+let test_net_fault_window () =
+  let engine = Sim.Engine.create () in
+  let net = Sim.Net.create engine (Sim.Rng.make 3) Sim.Net.infiniband in
+  let checked = ref false in
+  Sim.Engine.spawn engine (fun () ->
+      let sample () =
+        let acc = ref 0 in
+        for _ = 1 to 50 do
+          acc := !acc + Sim.Net.delay net ~bytes:1024
+        done;
+        !acc / 50
+      in
+      let before = sample () in
+      Sim.Net.inject_fault net ~from_ns:1_000_000 ~until_ns:2_000_000 ~factor:5.0
+        ~extra_ns:10_000 ();
+      Sim.Engine.sleep engine 1_500_000;
+      let inside = sample () in
+      Sim.Engine.sleep engine 1_000_000;
+      let after = sample () in
+      Alcotest.(check bool) "window degrades latency" true (inside > 3 * before);
+      Alcotest.(check bool) "window expires" true (after < 2 * before);
+      checked := true);
+  Sim.Engine.run engine ~until:10_000_000 ();
+  Alcotest.(check bool) "ran" true !checked
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "faults",
+        [
+          Alcotest.test_case "sn crash + repair under TPC-C load" `Quick
+            test_sn_crash_under_load;
+          Alcotest.test_case "harness scenario matrix" `Slow test_scenarios;
+          Alcotest.test_case "determinism audit" `Slow test_determinism_audit;
+          Alcotest.test_case "tie-break perturbation" `Slow test_tie_break_perturbation;
+          Alcotest.test_case "net fault window" `Quick test_net_fault_window;
+        ] );
+    ]

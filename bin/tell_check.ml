@@ -9,7 +9,7 @@
    pure function of (seed, scenario): failures print the exact repro
    command.
 
-     tell_check --quick                  # the CI matrix (20 seeds x 3 scenarios)
+     tell_check --quick                  # the CI matrix (20 seeds x 8 scenarios)
      tell_check --seed 7 --scenario chaos   # reproduce one run
      tell_check --deterministic-audit    # same seed twice, compare counters *)
 
@@ -73,10 +73,10 @@ let run_audit ~seeds ~scenarios ~perturb =
 open Cmdliner
 
 let quick =
-  Arg.(value & flag & info [ "quick" ] ~doc:"The CI matrix: seeds 1..20 over the sn-crash, pn-crash and chaos scenarios (60 runs).")
+  Arg.(value & flag & info [ "quick" ] ~doc:"The CI matrix: seeds 1..20 over the crash scenarios (sn-crash, pn-crash, chaos) and the partition scenarios (pn-cut, pn-cm-asym, flaky, recovery-partition, zombie) — 160 runs.")
 
 let full =
-  Arg.(value & flag & info [ "full" ] ~doc:"The exhaustive sweep: seeds 1..50 over all six scenarios.")
+  Arg.(value & flag & info [ "full" ] ~doc:"The exhaustive sweep: seeds 1..50 over all scenarios.")
 
 let seed =
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Run a single seed (repro mode).")

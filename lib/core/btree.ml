@@ -545,7 +545,7 @@ let lookup_many t ~keys =
 
 (* --- batched maintenance ------------------------------------------------------ *)
 
-(* Batched inserts/removals (Â§5.1 batching applied to index maintenance):
+(* Batched inserts/removals (§5.1 batching applied to index maintenance):
    route every entry through the cached inner levels, fetch all target
    leaves with one multi-get, apply one LL/SC conditional write per leaf,
    and retry only the entries whose leaf went stale, conflicted, or would

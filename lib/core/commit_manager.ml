@@ -28,6 +28,9 @@ type t = {
       (* tid -> (snapshot base at start, originating PN's fiber group) *)
   mutable peer_lavs : (int, int) Hashtbl.t;
   mutable alive : bool;
+  mutable fenced : bool;
+      (* this instance's lease over its tid range was revoked: a
+         replacement took over its identity while it was partitioned *)
 }
 
 let make cluster ~id ?(peers = []) ?(range_size = 64) ?(sync_interval_ns = 1_000_000) () =
@@ -58,6 +61,7 @@ let make cluster ~id ?(peers = []) ?(range_size = 64) ?(sync_interval_ns = 1_000
       active = Hashtbl.create 64;
       peer_lavs = Hashtbl.create 4;
       alive = true;
+      fenced = false;
     }
   in
   (* Until a peer has published its state, its lav is unknown: treat it
@@ -72,10 +76,24 @@ let make cluster ~id ?(peers = []) ?(range_size = 64) ?(sync_interval_ns = 1_000
 
 let id t = t.id
 let alive t = t.alive
+let was_fenced t = t.fenced
 
 let crash t =
   t.alive <- false;
   Sim.Engine.Group.kill t.group
+
+(* The manager's lease over its tid range is the epoch fence on its own
+   store writes: when the management node replaces it, every store write
+   it attempts — extending its range, publishing its state — bounces
+   [Fenced].  On the first bounce the instance must stop acting as a
+   manager (the replacement owns its identity now); a zombie that kept
+   handing out tids from its stale range would race the replacement. *)
+let self_fence t =
+  if t.alive then begin
+    t.fenced <- true;
+    t.alive <- false;
+    Sim.Engine.Group.kill t.group
+  end
 
 (* --- snapshot bookkeeping ------------------------------------------------ *)
 
@@ -227,50 +245,100 @@ let pull_peer_states t =
 
 let start_sync_fiber t =
   Sim.Engine.spawn t.engine ~group:t.group (fun () ->
-      while true do
+      while t.alive do
         Sim.Engine.sleep t.engine t.sync_interval_ns;
         retire_stale_range t;
-        publish_state t;
-        pull_peer_states t
+        try
+          publish_state t;
+          pull_peer_states t
+        with
+        | Kv.Op.Unavailable _ ->
+            (* Partitioned from the store: skip this round and try again —
+               peers tolerate a stale published state (it only delays
+               snapshot advance). *)
+            ()
+        | Kv.Op.Fenced _ ->
+            (* Our lease is gone: a replacement owns this identity. *)
+            self_fence t
       done)
 
 (* --- remote interface ------------------------------------------------------ *)
 
-let rpc t ~demand f =
+let endpoint t = Printf.sprintf "cm%d" t.id
+
+(* [src]: the caller's link endpoint.  With it, the request and reply
+   travel as identity-carrying messages subject to the network fault
+   plan (cuts, loss); without it the legacy reliable-transfer path is
+   used (tests and local callers).  [on_reply_lost] runs when the call
+   executed but its reply was dropped — the manager's chance to
+   compensate for a result the caller will never learn. *)
+let rpc t ?src ?on_reply_lost ~demand f =
   let net = Kv.Cluster.net t.cluster in
-  Sim.Net.transfer net ~bytes:48;
-  if not t.alive then begin
-    Sim.Engine.sleep t.engine (Kv.Cluster.config t.cluster).client_timeout_ns;
-    raise (Kv.Op.Unavailable (Printf.sprintf "cm%d" t.id))
-  end;
+  let timeout_ns = (Kv.Cluster.config t.cluster).client_timeout_ns in
+  let unavailable () =
+    Sim.Engine.sleep t.engine timeout_ns;
+    raise (Kv.Op.Unavailable (endpoint t))
+  in
+  (match src with
+  | None -> Sim.Net.transfer net ~bytes:48
+  | Some src -> (
+      match Sim.Net.send net ~src ~dst:(endpoint t) ~bytes:48 with
+      | `Delivered -> ()
+      | `Dropped -> unavailable ()));
+  if not t.alive then unavailable ();
   Sim.Resource.use t.cpu ~demand;
   let reply = f () in
-  Sim.Net.transfer net ~bytes:64;
+  (match src with
+  | None -> Sim.Net.transfer net ~bytes:64
+  | Some src -> (
+      match Sim.Net.send net ~src:(endpoint t) ~dst:src ~bytes:64 with
+      | `Delivered -> ()
+      | `Dropped ->
+          (* The manager processed the call but the reply was lost: the
+             caller sees a timeout.  Decisions are idempotent, so the
+             caller's re-send is safe. *)
+          (match on_reply_lost with Some g -> g reply | None -> ());
+          unavailable ()));
   reply
 
-let start t ~from_group =
-  rpc t ~demand:900 (fun () ->
-      let tid = next_tid t in
-      let snapshot = snapshot_of_state t in
-      Hashtbl.replace t.active tid (Version_set.base snapshot, from_group);
-      { tid; snapshot; lav = global_lav t })
+let start t ?src ~from_group () =
+  rpc t ?src ~demand:900
+    ~on_reply_lost:(fun (reply : start_reply) ->
+      (* The caller never learned its tid, so nobody will ever decide or
+         even claim it — an orphaned active entry would hold the lav (and
+         with it every snapshot base and version GC) back forever.  In a
+         real deployment a handout lease expires; here the manager sees
+         the drop and aborts the tid on the spot. *)
+      Hashtbl.remove t.active reply.tid;
+      mark_decided t ~tid:reply.tid ~committed:false)
+    (fun () ->
+      match next_tid t with
+      | tid ->
+          let snapshot = snapshot_of_state t in
+          Hashtbl.replace t.active tid (Version_set.base snapshot, from_group);
+          { tid; snapshot; lav = global_lav t }
+      | exception Kv.Op.Fenced _ ->
+          (* The range refill bounced: this instance was replaced while
+             partitioned.  Fence ourselves and answer like a dead node. *)
+          self_fence t;
+          raise (Kv.Op.Unavailable (endpoint t)))
 
-let set_committed t ~tid =
-  rpc t ~demand:350 (fun () ->
+let set_committed t ?src ~tid () =
+  rpc t ?src ~demand:350 (fun () ->
       Hashtbl.remove t.active tid;
       mark_decided t ~tid ~committed:true)
 
-let set_aborted t ~tid =
-  rpc t ~demand:350 (fun () ->
+let set_aborted t ?src ~tid () =
+  rpc t ?src ~demand:350 (fun () ->
       Hashtbl.remove t.active tid;
       mark_decided t ~tid ~committed:false)
 
-let set_decided_batch t ~committed ~aborted =
+let set_decided_batch t ?src ~committed ~aborted () =
   let n = List.length committed + List.length aborted in
   if n > 0 then
     (* Marginal decisions are much cheaper than the first: the message
        dominates, each extra tid is a table update. *)
-    rpc t ~demand:(350 + (80 * (n - 1))) (fun () ->
+    rpc t ?src ~demand:(350 + (80 * (n - 1))) (fun () ->
         let decide ~committed tid =
           Hashtbl.remove t.active tid;
           mark_decided t ~tid ~committed
@@ -296,11 +364,10 @@ let active_count t = Hashtbl.length t.active
    the normal notification path. *)
 let range_span t = (t.range_start, t.range_end)
 
-let release_dead_actives t =
-  let dead =
+let release_actives_matching t pred =
+  let doomed =
     Hashtbl.fold
-      (fun tid (_, group) acc ->
-        if Sim.Engine.Group.alive group then acc else tid :: acc)
+      (fun tid (_, group) acc -> if pred group then tid :: acc else acc)
       t.active []
   in
   List.iter
@@ -312,8 +379,18 @@ let release_dead_actives t =
         | None -> false
       in
       mark_decided t ~tid ~committed)
-    (List.sort Int.compare dead);
-  List.length dead
+    (List.sort Int.compare doomed);
+  List.length doomed
+
+let release_dead_actives t =
+  release_actives_matching t (fun group -> not (Sim.Engine.Group.alive group))
+
+(* Release the actives of one specific (fenced) owner group, whether or
+   not the engine considers the group dead yet: once the owner is
+   declared dead its undecided transactions must resolve from the log,
+   exactly as in the dead-group sweep. *)
+let release_group_actives t ~group =
+  release_actives_matching t (fun g -> g == group)
 
 let recover t =
   (* Last used tid: the shared counter is authoritative. *)

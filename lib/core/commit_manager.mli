@@ -41,17 +41,33 @@ val id : t -> int
 val alive : t -> bool
 val crash : t -> unit
 
+val endpoint : t -> string
+(** Link-endpoint name ("cm<id>") of this manager on the simulated
+    network. *)
+
+val was_fenced : t -> bool
+(** True once this instance stopped because its lease was revoked: a
+    store write bounced {!Tell_kv.Op.Fenced}, meaning the management
+    node replaced it while it was partitioned.  A fenced manager is
+    dead ([alive t = false]) and never serves again. *)
+
 (** {1 Remote interface used by processing nodes}
 
     Each call models one network round trip to the manager plus its
     service time, executed by the calling fiber.  Raises
-    {!Tell_kv.Op.Unavailable} when the manager has crashed. *)
+    {!Tell_kv.Op.Unavailable} when the manager has crashed.
 
-val start : t -> from_group:Tell_sim.Engine.Group.t -> start_reply
-val set_committed : t -> tid:int -> unit
-val set_aborted : t -> tid:int -> unit
+    [src] names the caller's link endpoint: when given, the request and
+    reply travel the simulated network as identity-carrying messages
+    subject to the fault plan (partitions, loss), and a dropped message
+    surfaces as {!Tell_kv.Op.Unavailable} after the client timeout.
+    Without it the legacy always-delivered path is used. *)
 
-val set_decided_batch : t -> committed:int list -> aborted:int list -> unit
+val start : t -> ?src:string -> from_group:Tell_sim.Engine.Group.t -> unit -> start_reply
+val set_committed : t -> ?src:string -> tid:int -> unit -> unit
+val set_aborted : t -> ?src:string -> tid:int -> unit -> unit
+
+val set_decided_batch : t -> ?src:string -> committed:int list -> aborted:int list -> unit -> unit
 (** One RPC deciding many transactions at once — the coalesced form of
     {!set_committed}/{!set_aborted} used by the per-PN notifier.  A no-op
     when both lists are empty. *)
@@ -72,6 +88,13 @@ val range_span : t -> int * int
     otherwise abort), and return how many were released.  Called by
     [Database.recover_crashed_pns] after the recovery log pass. *)
 val release_dead_actives : t -> int
+
+val release_group_actives : t -> group:Tell_sim.Engine.Group.t -> int
+(** Like {!release_dead_actives}, but for one specific owner group,
+    whether or not the engine considers it dead yet.  Used when a
+    processing node is {e declared} dead (fenced) while its fibers may
+    still be running behind a partition: its undecided transactions must
+    resolve from the log, not wait on fibers that will be poisoned. *)
 
 val recover : t -> unit
 (** Rebuild state after taking over from a failed manager (§4.4.3): reads

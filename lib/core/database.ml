@@ -32,10 +32,18 @@ type t = {
    the manager's reply is still in flight (bounded by one network delay,
    far below the sweep interval).
 
+   The claim check is load-bearing for partitions, not just for in-flight
+   handouts: a committed transaction keeps its tid claimed until the
+   notifier lands the log flag (Notifier [on_settled]).  A partition can
+   delay that flag for many sweep rounds, during which the log still
+   reads "aborted" — without the claim the sweep would roll back an
+   acknowledged commit (and the later flag would advertise a committed
+   transaction whose versions are gone).
+
    An unflagged log entry is rolled back here, before the abort decision
    is published: deciding first would advance snapshot bases past the
    tid, making its half-applied versions visible to every future reader
-   â and hiding the entry from the PN-recovery log scan, which starts at
+   — and hiding the entry from the PN-recovery log scan, which starts at
    the lav. *)
 let start_tid_reclamation t =
   let mgmt = Kv.Cluster.mgmt_group t.cluster in
@@ -46,7 +54,8 @@ let start_tid_reclamation t =
         Sim.Engine.sleep t.engine 1_000_000;
         match List.filter Commit_manager.alive t.cms with
         | [] -> ()
-        | (cm :: _) as live_cms ->
+        | (cm :: _) as live_cms -> (
+            try
             let vs = Commit_manager.current_snapshot cm in
             let base = Version_set.base vs in
             let top = Kv.Client.increment kv Keys.tid_counter 0 in
@@ -77,10 +86,15 @@ let start_tid_reclamation t =
               List.iter
                 (fun cm ->
                   try
-                    Commit_manager.set_decided_batch cm ~committed:!committed
-                      ~aborted:!aborted
+                    Commit_manager.set_decided_batch cm ~src:Kv.Cluster.mgmt_endpoint
+                      ~committed:!committed ~aborted:!aborted ()
                   with Kv.Op.Unavailable _ -> ())
                 live_cms
+            with Kv.Op.Unavailable _ ->
+              (* The store is unreachable (a management-node link is cut or
+                 a fail-over is in flight): skip this round, the suspect
+                 table keeps its state for the next one. *)
+              ())
       done)
 
 let create engine ?(kv_config = Kv.Cluster.default_config) ?(n_commit_managers = 1)
@@ -160,6 +174,11 @@ let replace_commit_manager t ~dead =
       ~peers:(List.map Commit_manager.id t.cms)
   in
   t.cms <- List.map (fun cm -> if cm == dead then fresh else cm) t.cms;
+  (* Re-point every processing node's routing table: the PNs hold the
+     dead instance by physical identity, and a node that kept calling it
+     would see permanent [Unavailable] on a manager id that is healthy
+     again. *)
+  List.iter (fun pn -> Pn.replace_commit_manager pn ~dead ~fresh) t.pns;
   fresh
 
 let crash_pn t pn =
@@ -169,23 +188,53 @@ let crash_pn t pn =
 
 let crash_storage_node t sn_id = Kv.Cluster.crash_node t.cluster sn_id
 
+(* Release the tids of dead transaction owners from every live manager's
+   active table: fibers killed by a crash or poison can never decide
+   their tids through the normal path, and an undecided active wedges
+   the lav.  (A dead manager's own sweep must wait for its replacement:
+   its kv client can no longer run.) *)
+let release_dead_actives t =
+  List.iter
+    (fun cm ->
+      if Commit_manager.alive cm then ignore (Commit_manager.release_dead_actives cm))
+    t.cms
+
 let recover_crashed_pns t =
-  match t.crashed_pns with
-  | [] -> 0
+  let recovery = Lazy.force t.recovery in
+  let before = Recovery.recovered_txns recovery in
+  (match t.crashed_pns with
+  | [] -> ()
   | crashed ->
-      let recovery = Lazy.force t.recovery in
-      let before = Recovery.recovered_txns recovery in
-      Recovery.recover_processing_nodes recovery ~failed_pn_ids:(List.map Pn.id crashed);
-      (* The log pass above rolled back the dead nodes' partial updates;
-         now release their still-active tids so they cannot wedge the
-         lav.  (A dead manager's own sweep must wait for its
-         replacement: its kv client can no longer run.) *)
-      List.iter
-        (fun cm ->
-          if Commit_manager.alive cm then ignore (Commit_manager.release_dead_actives cm))
-        t.cms;
-      t.crashed_pns <- [];
-      Recovery.recovered_txns recovery - before
+      Recovery.recover_processing_nodes recovery
+        ~failed_pn_ids:(List.map Pn.id crashed);
+      t.crashed_pns <- []);
+  (* Run the sweep even when no crash is pending: a zombie poisoned since
+     the last pass (fenced, then killed by its own bounce) leaves dead-
+     group actives behind without ever passing through [crash_pn]. *)
+  release_dead_actives t;
+  Recovery.recovered_txns recovery - before
+
+(* Declare a processing node dead on a failure detector's say-so —
+   without killing it.  This is the false-suspicion path: the node may be
+   alive behind a partition.  The recovery pass fences its epoch on every
+   storage node {e before} rolling its transactions back, so writes the
+   zombie still has in flight bounce ([Fenced]) instead of landing in
+   state we just declared recovered; the zombie poisons itself on the
+   first bounce.  Returns the number of transactions rolled back. *)
+let declare_pn_dead t pn =
+  t.pns <- List.filter (fun p -> p != pn) t.pns;
+  let recovery = Lazy.force t.recovery in
+  let before = Recovery.recovered_txns recovery in
+  Recovery.recover_processing_nodes recovery ~failed_pn_ids:[ Pn.id pn ];
+  (* The declared node's fibers may still be running behind the cut, so
+     the dead-group sweep does not cover its undecided actives: release
+     them by owner group — the log arbitrates, exactly as for a crash. *)
+  List.iter
+    (fun cm ->
+      if Commit_manager.alive cm then
+        ignore (Commit_manager.release_group_actives cm ~group:(Pn.group pn)))
+    t.cms;
+  Recovery.recovered_txns recovery - before
 
 let tables t =
   match t.pns with

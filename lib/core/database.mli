@@ -45,7 +45,24 @@ val crash_pn : t -> Pn.t -> unit
 val crash_storage_node : t -> int -> unit
 val recover_crashed_pns : t -> int
 (** Run the management-node recovery process over all crashed PNs;
-    returns the number of transactions rolled back. *)
+    returns the number of transactions rolled back.  Also releases the
+    active tids of any transaction owner that has died since the last
+    pass — including zombies that poisoned themselves — so they cannot
+    wedge the lav. *)
+
+val declare_pn_dead : t -> Pn.t -> int
+(** The false-suspicion path: treat [pn] as failed on a detector's
+    say-so {e without} killing it (it may be alive behind a partition).
+    Fences the node's epoch on every storage node, rolls back its
+    logged uncommitted transactions, and releases its active tids; a
+    surviving zombie bounces off the fence on its next write and
+    poisons itself ({!Pn.poison}).  Returns the number of transactions
+    rolled back.  Must run inside a fiber. *)
+
+val release_dead_actives : t -> unit
+(** Release dead transaction owners' tids from every live commit
+    manager (the sweep [recover_crashed_pns] runs, exposed for drains
+    that must not start a recovery pass). *)
 
 val tables : t -> Schema.table list
 (** All table descriptors currently registered in the store. *)

@@ -11,6 +11,20 @@
    commit whose log entry is still unflagged, so recovery (which trusts
    the flag) and the manager can never disagree about a decided tid.
 
+   Under a partition the flush degrades instead of losing decisions: a
+   window that cannot reach the store or a live commit manager is
+   re-queued and re-flushed after the retry timeout (flag writes are
+   idempotent, and decisions are idempotent at the manager), so a healed
+   link eventually delivers every outcome.  The deferral is only safe
+   because the committer keeps its tid claimed until the flag lands (the
+   [on_settled] hook): the tid-range reclamation sweep arbitrates
+   unclaimed undecided tids from the log, and an unflagged entry reads as
+   "aborted" — without the claim a partition-delayed flag would let the
+   sweep roll back an acknowledged commit.  A flush refused with
+   [Fenced] means this node was declared dead while partitioned — the
+   outcomes now belong to recovery, so they are dropped and the owner is
+   told it is a zombie via [on_fenced].
+
    The fiber runs in the PN's group: a PN crash kills it and drops the
    queue, leaving exactly the applied-but-unflagged log entries that
    recovery rolls back (see [Recovery.recover_processing_nodes]). *)
@@ -24,6 +38,13 @@ type item = {
   entry : Txlog.entry option;  (* [Some e]: flag [e] in the log before notifying *)
   committed : bool;
   enqueued_at : int;
+  on_settled : unit -> unit;
+      (* Fired (idempotently) once the outcome is arbitrable without this
+         node: the log flag landed, or a fence handed the outcome to
+         recovery.  [Txn] uses it to release the PN's tid claim — the
+         claim is what keeps the reclamation sweep from reading the
+         still-unflagged entry as "aborted" and rolling back a commit
+         whose flag is merely delayed behind a partition. *)
 }
 
 type t = {
@@ -31,52 +52,97 @@ type t = {
   kv : Kv.Client.t;
   flush_window_ns : int;
   note : ops:int -> int -> unit;  (* per-item pipeline latency (ns) *)
+  on_fenced : unit -> unit;  (* a flush bounced: the owner is a zombie *)
   mutable queue : item list;  (* newest first *)
   mutable in_flight : unit Sim.Ivar.t option;  (* single-flight flush *)
   mutable flushed : int;
+  mutable redelivered : int;  (* items re-queued after a failed flush *)
 }
 
 let pending t = List.length t.queue
 let flushed t = t.flushed
+let redelivered t = t.redelivered
+
+(* Put [items] (oldest first) back at the old end of the queue, ahead of
+   anything enqueued since the flush started. *)
+let requeue t items =
+  t.redelivered <- t.redelivered + List.length items;
+  t.queue <- t.queue @ List.rev items
 
 let do_flush t items =
+  let src = Kv.Client.endpoint t.kv in
   (* Flag first: one conditional-free multi-write covering every
      read-write transaction's log entry. *)
-  (match List.filter_map (fun i -> i.entry) items with
-  | [] -> ()
-  | entries -> Txlog.mark_committed_many t.kv entries);
-  (* Then one batched RPC per (live) commit manager. *)
-  let by_cm = ref [] in
-  List.iter
-    (fun item ->
-      match List.find_opt (fun (cm, _) -> cm == item.cm) !by_cm with
-      | Some (_, group) -> group := item :: !group
-      | None -> by_cm := (item.cm, ref [ item ]) :: !by_cm)
-    items;
-  List.iter
-    (fun (cm, group) ->
-      let committed, aborted = List.partition (fun i -> i.committed) !group in
-      try
-        Commit_manager.set_decided_batch cm
-          ~committed:(List.map (fun i -> i.tid) committed)
-          ~aborted:(List.map (fun i -> i.tid) aborted)
-      with Kv.Op.Unavailable _ ->
-        (* The manager died mid-window.  Flagged entries are durable, so
-           its replacement re-learns the commits from the log tail
-           ([Commit_manager.recover]); unflagged outcomes are re-decided
-           by recovery. *)
-        ())
-    (List.rev !by_cm);
-  let finished = Sim.Engine.now t.engine in
-  List.iter
-    (fun i ->
-      t.flushed <- t.flushed + 1;
-      t.note ~ops:(match i.entry with Some _ -> 2 | None -> 1) (finished - i.enqueued_at))
-    items
+  match
+    match List.filter_map (fun i -> i.entry) items with
+    | [] -> ()
+    | entries -> Txlog.mark_committed_many t.kv entries
+  with
+  | exception Kv.Op.Unavailable _ ->
+      (* Store unreachable (partition, crash storm).  Nothing is lost:
+         flag writes are idempotent unconditional puts, so the whole
+         window is re-flushed once the retry timeout has passed. *)
+      requeue t items
+  | exception Kv.Op.Fenced _ ->
+      (* Declared dead while partitioned: recovery has rolled these
+         outcomes back (or will decide them from the log).  Drop them
+         and tell the owner. *)
+      List.iter (fun i -> i.on_settled ()) items;
+      t.on_fenced ()
+  | () -> (
+      (* The flags are durable: from here on the log arbitrates these
+         outcomes correctly even without this node, so the owners may
+         drop their claims. *)
+      List.iter
+        (fun i -> match i.entry with Some _ -> i.on_settled () | None -> ())
+        items;
+      (* Then one batched RPC per commit manager. *)
+      let by_cm = ref [] in
+      List.iter
+        (fun item ->
+          match List.find_opt (fun (cm, _) -> cm == item.cm) !by_cm with
+          | Some (_, group) -> group := item :: !group
+          | None -> by_cm := (item.cm, ref [ item ]) :: !by_cm)
+        items;
+      let delivered = ref [] in
+      List.iter
+        (fun (cm, group) ->
+          let committed, aborted = List.partition (fun i -> i.committed) !group in
+          match
+            Commit_manager.set_decided_batch cm ~src
+              ~committed:(List.map (fun i -> i.tid) committed)
+              ~aborted:(List.map (fun i -> i.tid) aborted)
+              ()
+          with
+          | () -> delivered := !group @ !delivered
+          | exception Kv.Op.Unavailable _ ->
+              if Commit_manager.alive cm then
+                (* The manager is up but the link dropped the RPC (or its
+                   reply — decisions are idempotent, so a duplicate
+                   delivery is harmless): retry after the timeout. *)
+                requeue t (List.rev !group)
+              else
+                (* The manager died mid-window.  Flagged entries are
+                   durable, so its replacement re-learns the commits from
+                   the log tail ([Commit_manager.recover]); unflagged
+                   outcomes are re-decided by recovery. *)
+                ()
+          | exception Kv.Op.Fenced _ -> t.on_fenced ())
+        (List.rev !by_cm);
+      let finished = Sim.Engine.now t.engine in
+      List.iter
+        (fun i ->
+          t.flushed <- t.flushed + 1;
+          t.note ~ops:(match i.entry with Some _ -> 2 | None -> 1) (finished - i.enqueued_at))
+        !delivered)
 
 (* Flush everything enqueued before the call.  A flush in flight only
    covers the items present when it started, so later callers wait for it
-   and then flush the remainder themselves. *)
+   and then flush the remainder themselves.  A failed flush re-queues its
+   items, so the loop keeps flushing until the queue is empty — each
+   failed pass consumes at least a retry timeout of virtual time, so
+   under a transient partition this terminates at the heal (and under a
+   fence the queue is discarded). *)
 let rec drain t =
   match t.in_flight with
   | Some flush ->
@@ -94,14 +160,30 @@ let rec drain t =
             ~finally:(fun () ->
               t.in_flight <- None;
               Sim.Ivar.fill flush ())
-            (fun () -> do_flush t items))
+            (fun () -> do_flush t items);
+          drain t)
 
-let enqueue t ~cm ~tid ?entry ~committed () =
+let enqueue t ~cm ~tid ?entry ?(on_settled = fun () -> ()) ~committed () =
   t.queue <-
-    { cm; tid; entry; committed; enqueued_at = Sim.Engine.now t.engine } :: t.queue
+    { cm; tid; entry; committed; enqueued_at = Sim.Engine.now t.engine; on_settled }
+    :: t.queue
 
-let create engine ~group ~kv ~flush_window_ns ~note =
-  let t = { engine; kv; flush_window_ns; note; queue = []; in_flight = None; flushed = 0 } in
+let discard t = t.queue <- []
+
+let create engine ~group ~kv ~flush_window_ns ?(on_fenced = fun () -> ()) ~note () =
+  let t =
+    {
+      engine;
+      kv;
+      flush_window_ns;
+      note;
+      on_fenced;
+      queue = [];
+      in_flight = None;
+      flushed = 0;
+      redelivered = 0;
+    }
+  in
   Sim.Engine.spawn engine ~group (fun () ->
       while true do
         Sim.Engine.sleep engine t.flush_window_ns;

@@ -3,7 +3,14 @@
     [set_committed]/[set_aborted] traffic from concurrent committers into
     one batched commit-manager RPC per flush window.  Correct under §4.2:
     a delayed decided-set only raises the abort rate.  Flag-first order
-    per tid is preserved within a flush. *)
+    per tid is preserved within a flush.
+
+    Partition-tolerant: a window that cannot reach the store or a live
+    commit manager is re-queued and re-flushed (flag writes and decisions
+    are both idempotent), so outcomes survive transient link loss.  A
+    flush refused with {!Tell_kv.Op.Fenced} means the owning PN was
+    declared dead: the queue items are dropped — recovery owns them now —
+    and [on_fenced] fires so the owner can stop. *)
 
 type t
 
@@ -12,21 +19,49 @@ val create :
   group:Tell_sim.Engine.Group.t ->
   kv:Tell_kv.Client.t ->
   flush_window_ns:int ->
+  ?on_fenced:(unit -> unit) ->
   note:(ops:int -> int -> unit) ->
+  unit ->
   t
 (** Spawns the flush fiber in [group] (so a PN crash kills it, dropping
     any unflushed outcomes — exactly the window recovery handles).
-    [note] receives each item's enqueue-to-flush latency in ns. *)
+    [note] receives each item's enqueue-to-flush latency in ns;
+    [on_fenced] fires (possibly more than once) when a flush bounces off
+    the fence installed for this PN. *)
 
 val enqueue :
-  t -> cm:Commit_manager.t -> tid:int -> ?entry:Txlog.entry -> committed:bool -> unit -> unit
+  t ->
+  cm:Commit_manager.t ->
+  tid:int ->
+  ?entry:Txlog.entry ->
+  ?on_settled:(unit -> unit) ->
+  committed:bool ->
+  unit ->
+  unit
 (** Record a transaction outcome.  [entry] (a read-write transaction's
     log entry) is flagged committed in the log before the commit manager
-    is notified.  Never suspends. *)
+    is notified.  [on_settled] fires — possibly more than once, so it
+    must be idempotent — when the outcome no longer needs this node to be
+    arbitrated correctly: the flag write landed, or a fence handed the
+    queue to recovery.  Committers release their tid claim there; until
+    then the claim shields the unflagged entry from the tid-range
+    reclamation sweep, which would read it as an abort.  Never
+    suspends. *)
 
 val drain : t -> unit
 (** Flush every outcome enqueued before the call; returns once they are
-    flagged and the commit managers notified.  Suspends. *)
+    flagged and the commit managers notified — or, if the owner was
+    fenced meanwhile, once the queue has been discarded.  Suspends, and
+    under a partition keeps retrying (consuming virtual time) until the
+    links heal. *)
+
+val discard : t -> unit
+(** Drop every queued outcome without flushing.  Used when the owner is
+    poisoned as a zombie: recovery has already decided these tids. *)
 
 val pending : t -> int
 val flushed : t -> int
+
+val redelivered : t -> int
+(** Items that went through at least one failed flush pass and were
+    re-queued (lossy-link / partition diagnostics). *)

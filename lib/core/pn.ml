@@ -42,11 +42,28 @@ type t = {
       (* in-flight transactions on this node; the reclamation sweep never
          touches a tid a live node claims *)
   mutable alive : bool;
+  mutable fenced : bool;
+      (* declared dead by the management node while this PN was (or
+         appeared) partitioned: its epoch is fenced on every storage
+         node, so it must stop — a poisoned zombie never serves again *)
 }
 
 let commit_phases = [ "log"; "apply"; "index"; "notify" ]
 
 let rid_range_size = 64
+
+(* Zombie termination: this node healed from a partition only to find it
+   was declared dead — its writes bounce off the epoch fence, and
+   recovery has already rolled its in-flight work back.  Crash-stop is
+   the only sound reaction: discard undelivered outcomes (recovery owns
+   those tids) and kill every fiber.  Idempotent. *)
+let poison t =
+  if t.alive then begin
+    t.fenced <- true;
+    t.alive <- false;
+    (match t.notifier with Some n -> Notifier.discard n | None -> ());
+    Sim.Engine.Group.kill t.group
+  end
 
 let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
     ?(buffer = Buffer_pool.Transaction_buffer)
@@ -75,13 +92,16 @@ let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
       notifier = None;
       claimed_tids = Hashtbl.create 64;
       alive = true;
+      fenced = false;
     }
   in
   t.pool <- Some (Buffer_pool.create t.kv buffer ~vmax:(fun () -> t.vmax));
   t.notifier <-
     Some
       (Notifier.create engine ~group ~kv:t.kv ~flush_window_ns:notify_flush_window_ns
-         ~note:(fun ~ops ns -> Sim.Stats.Breakdown.add ~ops t.commit_stats ~phase:"notify" ns));
+         ~on_fenced:(fun () -> poison t)
+         ~note:(fun ~ops ns -> Sim.Stats.Breakdown.add ~ops t.commit_stats ~phase:"notify" ns)
+         ());
   t
 
 let id t = t.id
@@ -104,6 +124,16 @@ let notifier t =
 let crash t =
   t.alive <- false;
   Sim.Engine.Group.kill t.group
+
+let was_fenced t = t.fenced
+let endpoint t = Kv.Client.endpoint t.kv
+
+(* Swap a replaced commit manager for its successor in this PN's routing
+   table (physical identity: the dead instance object, not its id, which
+   the replacement reuses). *)
+let replace_commit_manager t ~dead ~fresh =
+  t.commit_managers <-
+    Array.map (fun cm -> if cm == dead then fresh else cm) t.commit_managers
 
 let charge t demand = Sim.Resource.use t.cpu ~demand
 

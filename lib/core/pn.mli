@@ -58,6 +58,25 @@ val crash : t -> unit
     transactions are left partially applied until recovery rolls them
     back. *)
 
+val poison : t -> unit
+(** Zombie termination: the node was declared dead while partitioned, so
+    its epoch is fenced and recovery owns its in-flight work.  Discards
+    undelivered commit notifications and kills every fiber; idempotent.
+    Fires automatically when a notifier flush bounces off the fence, and
+    is called by [Txn] when a commit bounces. *)
+
+val was_fenced : t -> bool
+(** True once {!poison} ran: this instance was fenced out, not merely
+    crashed. *)
+
+val endpoint : t -> string
+(** This PN's link-endpoint name ("pn<id>") — the identity its writes
+    carry on the simulated network. *)
+
+val replace_commit_manager : t -> dead:Commit_manager.t -> fresh:Commit_manager.t -> unit
+(** Point this PN at [fresh] wherever its routing table holds [dead]
+    (physical equality: the replacement reuses the dead instance's id). *)
+
 val charge : t -> int -> unit
 (** Consume PN CPU time (from a fiber running on this PN). *)
 

@@ -7,6 +7,13 @@
    as a rolling checkpoint: log entries below it cannot belong to an
    active transaction.
 
+   A failure "detected" through a network partition may be false: the
+   node can still be alive behind the cut, writing.  Recovery therefore
+   fences before it rolls back — it bumps the cluster epoch and installs
+   the failed nodes' endpoints as fenced on every storage node, so any
+   write a zombie still lands after the fence bounces.  Only then is it
+   sound to treat the log scan as covering everything the node did.
+
    The management node guarantees at most one recovery process at a time;
    a single process can handle several failed nodes (§4.4.1). *)
 
@@ -15,23 +22,29 @@ module Kv = Tell_kv
 
 type t = {
   engine : Sim.Engine.t;
+  cluster : Kv.Cluster.t;
   kv : Kv.Client.t;
   cm : Commit_manager.t;
-  mutable running : bool;
+  lock : Sim.Mutex.t;  (* at most one recovery pass at a time (§4.4.1) *)
   mutable recovered_txns : int;
+  mutable fences_installed : int;
 }
 
 let create cluster ~cm =
   let group = Kv.Cluster.mgmt_group cluster in
+  let engine = Kv.Cluster.engine cluster in
   {
-    engine = Kv.Cluster.engine cluster;
+    engine;
+    cluster;
     kv = Kv.Client.create cluster ~group;
     cm;
-    running = false;
+    lock = Sim.Mutex.create engine;
     recovered_txns = 0;
+    fences_installed = 0;
   }
 
 let recovered_txns t = t.recovered_txns
+let fences_installed t = t.fences_installed
 
 (* Roll back one logged, uncommitted transaction: remove its version from
    every record in the write set, then report the abort so snapshots can
@@ -39,7 +52,7 @@ let recovered_txns t = t.recovered_txns
 let roll_back t (entry : Txlog.entry) =
   List.iter (fun key -> Rollback.remove_version t.kv ~key ~version:entry.tid) entry.write_set;
   Txlog.append t.kv { entry with committed = false };
-  (try Commit_manager.set_aborted t.cm ~tid:entry.tid
+  (try Commit_manager.set_aborted t.cm ~tid:entry.tid ()
    with Kv.Op.Unavailable _ -> ());
   t.recovered_txns <- t.recovered_txns + 1
 
@@ -48,17 +61,24 @@ let roll_back t (entry : Txlog.entry) =
    the lav (§4.4.1). *)
 let recover_processing_nodes t ~failed_pn_ids =
   (* The management node runs at most one recovery process at a time
-     (Â§4.4.1); a second request queues behind the current pass.  Waiting
+     (§4.4.1); a second request queues behind the current pass.  Waiting
      matters under degraded networks: a pass can spend milliseconds in
      client retries, and the caller's failed nodes may not be the ones the
      running pass was started for. *)
-  while t.running do
-    Sim.Engine.sleep t.engine 100_000
-  done;
-  t.running <- true;
-  Fun.protect
-    ~finally:(fun () -> t.running <- false)
-    (fun () ->
+  Sim.Mutex.with_lock t.lock (fun () ->
+      (* Fence first (zombie protection): bump the epoch and refuse, on
+         every storage node, further writes carrying the failed nodes'
+         old epochs.  The log scan below is only complete if nothing can
+         land after it starts — a falsely-suspected node behind a
+         partition would otherwise keep writing into state we are about
+         to declare rolled back. *)
+      (match failed_pn_ids with
+      | [] -> ()
+      | ids ->
+          ignore
+            (Kv.Cluster.fence_senders t.cluster
+               ~senders:(List.map (Printf.sprintf "pn%d") ids));
+          t.fences_installed <- t.fences_installed + List.length ids);
       let lav = Commit_manager.current_lav t.cm in
       let entries = Txlog.scan t.kv ~min_tid:lav in
       let entries = List.sort (fun (a : Txlog.entry) b -> Int.compare b.tid a.tid) entries in
@@ -71,14 +91,19 @@ let recover_processing_nodes t ~failed_pn_ids =
                  notifier reported the commit.  Re-deliver it so the tid
                  does not linger in the manager's active set and wedge
                  the lav ([set_committed] is idempotent). *)
-              try Commit_manager.set_committed t.cm ~tid:entry.tid
+              try Commit_manager.set_committed t.cm ~tid:entry.tid ()
               with Kv.Op.Unavailable _ -> ())
         entries)
 
 (* Stand up a replacement commit manager (§4.4.3): restore its state from
-   the published peer states and the transaction-log tail. *)
+   the published peer states and the transaction-log tail.  The dead
+   instance is fenced first: if it is not dead but partitioned, its next
+   store write (range refill, state publication) bounces and it
+   self-fences, so two managers never serve the same identity. *)
 let replace_commit_manager cluster ~dead ~fresh_id ~peers =
-  ignore dead;
+  if dead >= 0 then
+    ignore
+      (Kv.Cluster.fence_senders cluster ~senders:[ Printf.sprintf "cm%d" dead ]);
   let cm = Commit_manager.create cluster ~id:fresh_id ~peers () in
   (* If log recovery trips over a concurrent storage fail-over
      (Unavailable after retries), tear the half-recovered instance down —

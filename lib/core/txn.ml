@@ -58,8 +58,11 @@ let begin_txn ?(isolation = Snapshot_isolation) pn =
      node's writes), so their tids have to reach the commit manager
      before we fetch a snapshot from it. *)
   Notifier.drain (Pn.notifier pn);
+  (* The drain may have discovered we are a fenced zombie (a flush
+     bounced and poisoned the node): refuse like a crashed node. *)
+  if not (Pn.alive pn) then raise (Kv.Op.Unavailable (Printf.sprintf "pn%d" (Pn.id pn)));
   let cm = Pn.commit_manager pn in
-  let reply = Commit_manager.start cm ~from_group:(Pn.group pn) in
+  let reply = Commit_manager.start cm ~src:(Pn.endpoint pn) ~from_group:(Pn.group pn) () in
   (* Claim the tid before anything can suspend: from here until the
      commit/abort decision the reclamation sweep must treat it as live. *)
   Pn.claim_tid pn reply.tid;
@@ -431,11 +434,19 @@ let commit_applied t ~entry ~writes ~now ~t_apply =
            flagging the log entry and telling the commit manager are
            deferred to the PN's notifier, which coalesces them with
            the outcomes of concurrent committers.  A delayed
-           decided-set can only raise the abort rate (§4.2). *)
+           decided-set can only raise the abort rate (§4.2) — but the
+           tid stays claimed until the flag lands: to everyone reading
+           the log this commit is indistinguishable from an abort until
+           then, and the reclamation sweep arbitrates any unclaimed
+           undecided tid exactly that way.  Releasing here would let a
+           partition-delayed flush turn an acknowledged commit into a
+           rolled-back one. *)
         t.status <- Committed;
-        Pn.release_tid t.pn t.tid;
+        let pn = t.pn and tid = t.tid in
         fire_commit_probe t ~write_set:entry.Txlog.write_set;
-        Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~entry ~committed:true ()
+        Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~entry
+          ~on_settled:(fun () -> Pn.release_tid pn tid)
+          ~committed:true ()
       end
 
 let commit t =
@@ -462,16 +473,27 @@ let commit t =
         }
       in
       let now () = Tell_sim.Engine.now (Pn.engine t.pn) in
-      let t_log = now () in
-      Txlog.append (Pn.kv t.pn) entry;
-      Pn.note_commit_phase t.pn ~phase:"log" ~ops:1 (now () - t_log);
-      let t_apply = now () in
-      try commit_applied t ~entry ~writes ~now ~t_apply
+      try
+        let t_log = now () in
+        Txlog.append (Pn.kv t.pn) entry;
+        Pn.note_commit_phase t.pn ~phase:"log" ~ops:1 (now () - t_log);
+        let t_apply = now () in
+        commit_applied t ~entry ~writes ~now ~t_apply
       with
       | Conflict _ | Finished | Tell_sim.Engine.Cancelled as e ->
           (* Conflict: finish_abort already cleaned up.  Cancelled: the
              PN died mid-commit; its fiber must not touch the store
              (recovery owns the rollback). *)
+          raise e
+      | Kv.Op.Fenced _ as e ->
+          (* This PN was declared dead while partitioned: the storage
+             nodes fence its epoch, so the write bounced.  Recovery has
+             already swept (or will decide from the log) everything this
+             transaction applied — a rollback from here would bounce off
+             the same fence.  Stop being a member and surface the error. *)
+          t.status <- Aborted;
+          Pn.release_tid t.pn t.tid;
+          Pn.poison t.pn;
           raise e
       | e ->
           (* The store became unavailable mid-commit (fail-over in
@@ -482,12 +504,17 @@ let commit t =
              so sweep the whole write set; by the time these (fresh)
              client calls run their own retries, the directory has
              usually been repaired. *)
-          List.iter
-            (fun (key, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
-            writes;
+          (try
+             List.iter
+               (fun (key, _) -> Rollback.remove_version (Pn.kv t.pn) ~key ~version:t.tid)
+               writes
+           with Kv.Op.Fenced _ ->
+             (* Fenced mid-sweep: recovery owns the rest of it. *)
+             Pn.poison t.pn);
           t.status <- Aborted;
           Pn.release_tid t.pn t.tid;
-          Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
+          if Pn.alive t.pn then
+            Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
           raise e)
 
 let abort t =

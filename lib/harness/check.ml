@@ -3,11 +3,12 @@
 
    One run = one short TPC-C workload on a small Tell deployment, driven
    entirely by the virtual clock, with faults — PN / SN / commit-manager
-   crashes, latency spikes — fired at seed-derived virtual instants and,
-   optionally, the engine's same-instant event order shuffled by a seeded
-   tie-break.  After the workload quiesces, a battery of invariants is
-   checked on the final state.  Everything is a pure function of
-   (seed, scenario): a failing run reproduces with
+   crashes, latency spikes, network partitions (symmetric and one-way),
+   lossy links, false-suspicion declarations — fired at seed-derived
+   virtual instants and, optionally, the engine's same-instant event
+   order shuffled by a seeded tie-break.  After the workload quiesces, a
+   battery of invariants is checked on the final state.  Everything is a
+   pure function of (seed, scenario): a failing run reproduces with
    [tell_check --seed N --scenario S].
 
    Invariants per run (see DESIGN.md §6):
@@ -20,9 +21,12 @@
    - B+tree structural soundness of every index (Btree.check);
    - log/notification audit: every flagged log entry is decided in a
      freshly recovered commit manager's snapshot; unflagged entries left
-     no version residue (rollbacks completed); every acknowledged commit
-     of a never-crashed PN ends flagged;
+     no version residue (rollbacks completed) — for entries logged by a
+     fenced node this is the zombie-fencing invariant: no fenced-epoch
+     write may survive the declaration; every acknowledged commit of a
+     never-crashed PN ends flagged;
    - replication health: every partition ends with >= rf live replicas;
+   - partition hygiene: no named cut is still installed at audit time;
    - snapshot liveness: after quiescing, every live manager's snapshot
      base catches up past the highest committed tid (a wedged base
      betrays leaked, undecidable tids — the failure mode the management
@@ -42,8 +46,33 @@ type scenario =
   | Cm_failover  (** a commit manager dies; a replacement recovers its state *)
   | Latency_spike  (** interconnect degradation windows *)
   | Chaos  (** all of the above composed *)
+  | Pn_cut  (** transient symmetric partition of one PN; heals, no declaration *)
+  | Pn_cm_asym
+      (** one-way cut: commit-manager replies to one PN are lost while its
+          store traffic flows; the node is falsely declared dead mid-cut —
+          the zombie keeps writing and must bounce off the epoch fence *)
+  | Flaky  (** probabilistic drop/duplication window on one PN<->SN link *)
+  | Recovery_partition
+      (** an SN crash plus a management-node<->SN cut overlapping the PN
+          recovery pass: fencing and the log scan ride their retry budgets *)
+  | Zombie
+      (** full partition of one PN, declared dead behind the cut, heals as
+          a zombie: its first post-heal write must bounce and poison it *)
 
-let all_scenarios = [ No_fault; Sn_crash; Pn_crash; Cm_failover; Latency_spike; Chaos ]
+let all_scenarios =
+  [
+    No_fault;
+    Sn_crash;
+    Pn_crash;
+    Cm_failover;
+    Latency_spike;
+    Chaos;
+    Pn_cut;
+    Pn_cm_asym;
+    Flaky;
+    Recovery_partition;
+    Zombie;
+  ]
 
 let scenario_name = function
   | No_fault -> "none"
@@ -52,13 +81,21 @@ let scenario_name = function
   | Cm_failover -> "cm-failover"
   | Latency_spike -> "latency"
   | Chaos -> "chaos"
+  | Pn_cut -> "pn-cut"
+  | Pn_cm_asym -> "pn-cm-asym"
+  | Flaky -> "flaky"
+  | Recovery_partition -> "recovery-partition"
+  | Zombie -> "zombie"
 
 let scenario_of_string s =
   List.find_opt (fun sc -> scenario_name sc = String.lowercase_ascii s) all_scenarios
 
-(* The --quick CI matrix leans on the three composite scenarios (chaos
-   subsumes latency / cm-failover events); the full sweep runs all six. *)
-let quick_scenarios = [ Sn_crash; Pn_crash; Chaos ]
+(* The --quick CI matrix: the three composite crash scenarios (chaos
+   subsumes latency / cm-failover events) plus the partition scenarios —
+   symmetric and asymmetric cuts, lossy links, and zombie fencing.  The
+   full sweep additionally runs the single-fault scenarios. *)
+let quick_scenarios =
+  [ Sn_crash; Pn_crash; Chaos; Pn_cut; Pn_cm_asym; Flaky; Recovery_partition; Zombie ]
 
 type outcome = {
   o_seed : int;
@@ -122,9 +159,15 @@ let run_one ~seed ~scenario ?(perturb = true) () =
   let note fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
   let probes = ref [] in
   let crashed_pn_ids = ref [] in
+  (* PNs declared dead behind a partition (fenced, maybe still running as
+     zombies) — their ids also join [crashed_pn_ids], since from the
+     cluster's point of view a declaration is a crash. *)
+  let fenced_pns = ref [] in
+  let fenced_bounces = ref 0 in
   (* Commit managers the monitor watches: the initial ones plus any
      replacement stood up by a fail-over scenario. *)
   let cms = ref (Database.commit_managers db) in
+  let net = Kv.Cluster.net cluster in
 
   Txn.set_commit_probe
     (Some
@@ -161,6 +204,13 @@ let run_one ~seed ~scenario ?(perturb = true) () =
           | Tpcc.Engine_intf.User_abort -> incr user_aborts
           | exception Kv.Op.Unavailable _ ->
               incr unavailable;
+              Sim.Engine.sleep engine 50_000
+          | exception Kv.Op.Fenced _ ->
+              (* The node was declared dead while we ran: the write bounced
+                 off the epoch fence and the PN has poisoned itself.  The
+                 sleep suspends this fiber so the poison's group-kill can
+                 cancel it. *)
+              incr fenced_bounces;
               Sim.Engine.sleep engine 50_000
         done)
   in
@@ -256,6 +306,30 @@ let run_one ~seed ~scenario ?(perturb = true) () =
       Kv.Cluster.inject_latency_spike cluster ~from_ns ~until_ns ~factor ~extra_ns ()
     done
   in
+  (* The rest of the fabric as seen from one PN: every storage node, every
+     commit manager, and the management node. *)
+  let fabric_endpoints () =
+    List.init n_sns Kv.Cluster.sn_endpoint
+    @ List.map Commit_manager.endpoint (Database.commit_managers db)
+    @ [ Kv.Cluster.mgmt_endpoint ]
+  in
+  (* The false-suspicion event: a detector declares [victim] dead while it
+     may well be running behind a cut.  Fences its epoch, rolls back its
+     logged uncommitted work, releases its active tids, and re-mans its
+     share of the terminals on a survivor — the victim's own terminals keep
+     running as zombies until a bounced write poisons the node. *)
+  let declare_dead victim =
+    crashed_pn_ids := Pn.id victim :: !crashed_pn_ids;
+    fenced_pns := victim :: !fenced_pns;
+    rolled_back := !rolled_back + Database.declare_pn_dead db victim;
+    match Database.pns db with
+    | survivor :: _ ->
+        for _ = 1 to n_terminals / n_pns do
+          spawn_terminal survivor
+        done
+    | [] -> ()
+  in
+  let pick_victim_pn () = pn_arr.(Sim.Rng.int fault_rng n_pns) in
   (match scenario with
   | No_fault -> ()
   | Sn_crash -> ignore (crash_sn ())
@@ -267,7 +341,74 @@ let run_one ~seed ~scenario ?(perturb = true) () =
       let sn = crash_sn () in
       at (ms 30) (fun () -> Kv.Cluster.restart_node cluster sn);
       crash_pn_with_recovery ();
-      crash_cm_with_replacement ());
+      crash_cm_with_replacement ()
+  | Pn_cut ->
+      (* Transient full partition of one PN; nobody declares it dead, so
+         after the heal it must resume cleanly — requeued notifications
+         flush, lost start replies were compensated by the manager. *)
+      let ep = Pn.endpoint (pick_victim_pn ()) in
+      let t_cut = ms 8 + Sim.Rng.int fault_rng (ms 10) in
+      let t_heal = t_cut + ms 2 + Sim.Rng.int fault_rng (ms 4) in
+      at t_cut (fun () ->
+          Sim.Net.cut net ~name:"pn-cut" ~from_:[ ep ] ~to_:(fabric_endpoints ())
+            ~symmetric:true);
+      at t_heal (fun () -> Sim.Net.heal net ~name:"pn-cut")
+  | Pn_cm_asym ->
+      (* One-way cut: the victim's requests reach the commit managers but
+         every reply is lost, while its storage traffic flows freely.  Mid-
+         cut the node is declared dead — the fence must stop its store
+         writes even though the store is perfectly reachable from it. *)
+      let victim = pick_victim_pn () in
+      let ep = Pn.endpoint victim in
+      let cm_eps = List.map Commit_manager.endpoint (Database.commit_managers db) in
+      let t_cut = ms 8 + Sim.Rng.int fault_rng (ms 6) in
+      let t_declare = t_cut + ms 2 in
+      let t_heal = t_declare + ms 2 + Sim.Rng.int fault_rng (ms 3) in
+      at t_cut (fun () ->
+          Sim.Net.cut net ~name:"cm-replies" ~from_:cm_eps ~to_:[ ep ] ~symmetric:false);
+      at t_declare (fun () -> declare_dead victim);
+      at t_heal (fun () -> Sim.Net.heal net ~name:"cm-replies")
+  | Flaky ->
+      (* A lossy window on one PN<->SN link pair: a few percent drop plus
+         occasional duplication, in both directions.  Client retries must
+         ride it out; duplicated deliveries must be absorbed. *)
+      let ep = Pn.endpoint (pick_victim_pn ()) in
+      let sn = Kv.Cluster.sn_endpoint (Sim.Rng.int fault_rng n_sns) in
+      let drop = 0.01 +. (float_of_int (Sim.Rng.int fault_rng 5) /. 100.) in
+      let t_on = ms 6 + Sim.Rng.int fault_rng (ms 8) in
+      let t_off = t_on + ms 5 + Sim.Rng.int fault_rng (ms 20) in
+      at t_on (fun () ->
+          Sim.Net.set_loss net ~src:ep ~dst:sn ~drop ~dup:0.01 ();
+          Sim.Net.set_loss net ~src:sn ~dst:ep ~drop ~dup:0.01 ());
+      at t_off (fun () ->
+          Sim.Net.clear_loss net ~src:ep ~dst:sn;
+          Sim.Net.clear_loss net ~src:sn ~dst:ep)
+  | Recovery_partition ->
+      (* An SN crash plus a short management-node<->SN cut laid over a PN
+         crash-and-recover: the recovery pass's fence installs and log
+         scans must ride their retry budgets through the cut. *)
+      ignore (crash_sn ());
+      let cut_sn = Kv.Cluster.sn_endpoint (Sim.Rng.int fault_rng n_sns) in
+      crash_pn_with_recovery ();
+      let t_cut = ms 10 + Sim.Rng.int fault_rng (ms 12) in
+      at t_cut (fun () ->
+          Sim.Net.cut net ~name:"mgmt-sn" ~from_:[ Kv.Cluster.mgmt_endpoint ]
+            ~to_:[ cut_sn ] ~symmetric:true);
+      at (t_cut + ms 2) (fun () -> Sim.Net.heal net ~name:"mgmt-sn")
+  | Zombie ->
+      (* Full partition, declared dead behind the cut, then the cut heals
+         and the zombie comes back: its first write after the heal must
+         bounce off the epoch fence and poison the node. *)
+      let victim = pick_victim_pn () in
+      let ep = Pn.endpoint victim in
+      let t_cut = ms 8 + Sim.Rng.int fault_rng (ms 6) in
+      let t_declare = t_cut + ms 2 in
+      let t_heal = t_declare + ms 1 + Sim.Rng.int fault_rng (ms 3) in
+      at t_cut (fun () ->
+          Sim.Net.cut net ~name:"zombie-cut" ~from_:[ ep ] ~to_:(fabric_endpoints ())
+            ~symmetric:true);
+      at t_declare (fun () -> declare_dead victim);
+      at t_heal (fun () -> Sim.Net.heal net ~name:"zombie-cut"));
 
   (* Quiesce and audit. *)
   let audit_done = ref false in
@@ -299,6 +440,21 @@ let run_one ~seed ~scenario ?(perturb = true) () =
           Hashtbl.replace seen p.p_tid p.p_pn)
         probes;
 
+      (* The transaction log arbitrates several checks below: build the
+         flagged-entry table first.  A probe whose entry never got flagged
+         and whose PN crashed (or was declared dead) is a "ghost": its
+         commit was acknowledged to a doomed client only, and recovery
+         rolled it back — it must be exempt from the safety checks that
+         quantify over surviving commits. *)
+      let entries = Txlog.scan kv ~min_tid:0 in
+      let flagged = Hashtbl.create 1024 in
+      List.iter
+        (fun (e : Txlog.entry) -> if e.committed then Hashtbl.replace flagged e.tid ())
+        entries;
+      let ghost p =
+        (not (Hashtbl.mem flagged p.p_tid)) && List.mem p.p_pn !crashed_pn_ids
+      in
+
       (* 3. SI write-write safety: committed writers of the same record
          must be ordered by their snapshots (first-committer-wins). *)
       let writers = Hashtbl.create 4096 in
@@ -320,6 +476,8 @@ let run_one ~seed ~scenario ?(perturb = true) () =
                   (fun b ->
                     if
                       a.p_tid <> b.p_tid
+                      && (not (ghost a))
+                      && (not (ghost b))
                       && (not (Version_set.mem a.p_snapshot b.p_tid))
                       && (not (Version_set.mem b.p_snapshot a.p_tid))
                       && not (Hashtbl.mem reported (min a.p_tid b.p_tid, max a.p_tid b.p_tid))
@@ -352,17 +510,18 @@ let run_one ~seed ~scenario ?(perturb = true) () =
           ~peers:(List.map Commit_manager.id (Database.commit_managers db))
       in
       let audit_snapshot = Commit_manager.current_snapshot audit_cm in
-      let entries = Txlog.scan kv ~min_tid:0 in
-      let flagged = Hashtbl.create 1024 in
+      let fenced_pn_ids = List.map Pn.id !fenced_pns in
       List.iter
         (fun (e : Txlog.entry) ->
           if e.committed then begin
-            Hashtbl.replace flagged e.tid ();
             if not (Version_set.mem audit_snapshot e.tid) then
               note "lost notification: flagged log entry %d not decided after recovery" e.tid
           end
           else begin
-            (* Aborted or rolled back: no version residue may remain. *)
+            (* Aborted or rolled back: no version residue may remain.  For
+               an entry logged by a fenced node this is the zombie-fencing
+               invariant itself — a surviving version means a fenced-epoch
+               write landed after the declaration. *)
             let states = Kv.Client.multi_get kv e.write_set in
             List.iter2
               (fun key state ->
@@ -370,8 +529,14 @@ let run_one ~seed ~scenario ?(perturb = true) () =
                 | None -> ()
                 | Some (data, _token) ->
                     if List.mem e.tid (Record.version_numbers (Record.decode data)) then
-                      note "rollback residue: version %d of %S survives its unflagged log entry"
-                        e.tid key)
+                      if List.mem e.pn_id fenced_pn_ids then
+                        note
+                          "fenced-epoch residue: version %d of %S from fenced pn%d \
+                           (zombie write leaked past the fence)"
+                          e.tid key e.pn_id
+                      else
+                        note "rollback residue: version %d of %S survives its unflagged log entry"
+                          e.tid key)
               e.write_set states
           end)
         entries;
@@ -406,6 +571,13 @@ let run_one ~seed ~scenario ?(perturb = true) () =
           end)
         !cms;
 
+      (* 8. Partition hygiene: every scenario must heal what it cuts; a
+         cut surviving to the audit would make the checks above test a
+         partitioned cluster rather than a healed one. *)
+      (match Sim.Net.active_cuts net with
+      | [] -> ()
+      | cuts -> note "partition not healed at audit: %s" (String.concat ", " cuts));
+
       counters :=
         [
           ("committed", !committed);
@@ -418,7 +590,18 @@ let run_one ~seed ~scenario ?(perturb = true) () =
           ("log_entries", List.length entries);
           ("audit_base", Version_set.base audit_snapshot);
           ("audit_max", Version_set.max_elt audit_snapshot);
-          ("net_bytes", Sim.Net.bytes_sent (Kv.Cluster.net cluster));
+          ("net_bytes", Sim.Net.bytes_sent net);
+          ("net_dropped", Sim.Net.messages_dropped net);
+          ("net_duplicated", Sim.Net.messages_duplicated net);
+          ( "fenced_rejects",
+            Array.fold_left
+              (fun a sn -> a + Kv.Storage_node.fenced_rejects sn)
+              0 (Kv.Cluster.nodes cluster) );
+          ("fenced_bounces", !fenced_bounces);
+          ("poisoned_pns", List.length (List.filter Pn.was_fenced !fenced_pns));
+          ( "notifier_redelivered",
+            Array.fold_left (fun a pn -> a + Notifier.redelivered (Pn.notifier pn)) 0 pn_arr );
+          ("epoch", Kv.Cluster.current_epoch cluster);
           ("bytes_stored", Kv.Cluster.total_bytes_stored cluster);
           ("live_nodes", Kv.Cluster.live_nodes cluster);
           ("min_live_replication", live_repl);

@@ -1,13 +1,22 @@
 module Sim = Tell_sim
 
-type pending = { op : Op.t; reply : Op.result Sim.Ivar.t }
+type pending = {
+  op : Op.t;
+  op_id : int;  (** dedup id for conditional mutations; 0 = not deduped *)
+  reply : Op.result Sim.Ivar.t;
+}
 
 type lane = { mutable in_flight : bool; queued : pending Queue.t }
 
 type t = {
   cluster : Cluster.t;
   group : Sim.Engine.Group.t;
+  endpoint : string;  (** link identity: the owning component's group label *)
+  epoch : int;  (** cluster epoch at creation; stamped on every write *)
+  rng : Sim.Rng.t;  (** retry-backoff jitter (split off the cluster rng) *)
   lanes : lane array;  (** indexed by storage-node id *)
+  uid : int;  (** process-unique client id, keys the nodes' replay caches *)
+  mutable next_op_id : int;
   mutable cached_masters : int array;
   mutable requests_sent : int;
   mutable ops_sent : int;
@@ -15,12 +24,24 @@ type t = {
 
 let max_retries = 8
 
+(* Client uids key the storage nodes' replay caches together with per-op
+   ids; they only need process-wide uniqueness.  (The endpoint label
+   cannot serve: several clients may share one — e.g. "mgmt".) *)
+let next_client_uid = ref 0
+
 let create cluster ~group =
   let n = Array.length (Cluster.nodes cluster) in
   {
     cluster;
     group;
+    endpoint = Sim.Engine.Group.label group;
+    epoch = Cluster.current_epoch cluster;
+    rng = Sim.Rng.split (Cluster.rng cluster);
     lanes = Array.init n (fun _ -> { in_flight = false; queued = Queue.create () });
+    uid =
+      (incr next_client_uid;
+       !next_client_uid);
+    next_op_id = 0;
     cached_masters = Directory.masters_snapshot (Cluster.directory cluster);
     requests_sent = 0;
     ops_sent = 0;
@@ -28,6 +49,9 @@ let create cluster ~group =
 
 let cluster t = t.cluster
 let group t = t.group
+let endpoint t = t.endpoint
+let epoch t = t.epoch
+let sender t = (t.endpoint, t.epoch)
 let requests_sent t = t.requests_sent
 let ops_sent t = t.ops_sent
 
@@ -75,14 +99,30 @@ let replicate t ~sn_id writes =
          synchronous-replication latency that dominates write-heavy
          response times (§6.3.1). *)
       let latency_per_write = (Cluster.config t.cluster).replication_latency_ns in
+      let config = Cluster.config t.cluster in
       Hashtbl.iter
         (fun backup_id batch ->
           let bytes = List.fold_left (fun a (op, _) -> a + Op.request_bytes op) 32 batch in
-          Sim.Net.transfer net ~bytes;
+          (* The chain write is acked: a drop on a flaky master->backup
+             link is re-sent until it lands — a silently skipped replica
+             write would leave a stale backup that data-loss surfaces
+             from after a later fail-over.  A severed link exhausts the
+             budget and surfaces as [Unavailable] to the whole batch. *)
+          let src = Cluster.sn_endpoint sn_id and dst = Cluster.sn_endpoint backup_id in
+          let rec ship attempts =
+            match Sim.Net.send net ~src ~dst ~bytes with
+            | `Delivered -> ()
+            | `Dropped when attempts > 0 ->
+                Sim.Engine.sleep (engine t) config.client_timeout_ns;
+                ship (attempts - 1)
+            | `Dropped -> raise (Op.Unavailable dst)
+          in
+          ship max_retries;
           let node = Cluster.node t.cluster backup_id in
           if Storage_node.alive node then begin
             List.iter
-              (fun (op, outcome) -> Storage_node.apply_replica node op outcome)
+              (fun (op, outcome) ->
+                Storage_node.apply_replica node ~sender:(sender t) op outcome)
               (List.rev batch);
             Sim.Engine.sleep (engine t) (List.length batch * latency_per_write)
           end;
@@ -116,20 +156,43 @@ and run_batch t ~sn_id lane batch =
      let request_bytes =
        List.fold_left (fun acc p -> acc + Op.request_bytes p.op) 32 batch
      in
-     Sim.Net.transfer net ~bytes:request_bytes;
-     if not (Storage_node.serving node) then begin
+     let dst = Cluster.sn_endpoint sn_id in
+     let timeout () =
+       Sim.Engine.sleep (engine t) (Cluster.config t.cluster).client_timeout_ns;
+       let err = Op.Unavailable dst in
+       List.iter (fun p -> Sim.Ivar.fill_exn p.reply err) batch
+     in
+     match Sim.Net.send net ~src:t.endpoint ~dst ~bytes:request_bytes with
+     | `Dropped ->
+         (* Lost on the wire (cut or flaky link): indistinguishable from a
+            dead node — the client learns through its timeout. *)
+         timeout ()
+     | `Delivered ->
+     if not (Storage_node.serving node) then
        (* The request vanishes into a dead node — or reaches a restarted
           one that owns no partitions yet and must not answer for them:
           clients only learn through a timeout. *)
-       Sim.Engine.sleep (engine t) (Cluster.config t.cluster).client_timeout_ns;
-       let err = Op.Unavailable (Printf.sprintf "sn%d" sn_id) in
-       List.iter (fun p -> Sim.Ivar.fill_exn p.reply err) batch
-     end
+       timeout ()
      else begin
        let outcomes =
          List.map
            (fun p ->
-             if Storage_node.alive node then (p, `Outcome (Storage_node.apply node p.op))
+             if Storage_node.alive node then
+               match
+                 if p.op_id = 0 then None
+                 else Storage_node.find_replay node ~client:t.uid ~op_id:p.op_id
+               with
+               | Some cached ->
+                   (* A retry of a conditional op whose reply was lost:
+                      replay the original verdict instead of letting the
+                      op conflict with its own first attempt (which also
+                      replicated already). *)
+                   (p, `Replayed cached)
+               | None ->
+                   let r = Storage_node.apply node ~sender:(sender t) p.op in
+                   if p.op_id <> 0 then
+                     Storage_node.record_replay node ~client:t.uid ~op_id:p.op_id r;
+                   (p, `Outcome r)
              else (p, `Died))
            batch
        in
@@ -139,9 +202,9 @@ and run_batch t ~sn_id lane batch =
              match o with
              | `Outcome outcome when Op.is_write p.op -> (
                  match outcome with
-                 | Op.Conflict -> None
+                 | Op.Conflict | Op.Fenced_reply -> None
                  | outcome -> Some (p.op, outcome))
-             | `Outcome _ | `Died -> None)
+             | `Outcome _ | `Replayed _ | `Died -> None)
            outcomes
        in
        (* Master-side coordination of synchronous replication occupies the
@@ -165,31 +228,49 @@ and run_batch t ~sn_id lane batch =
        let reply_bytes =
          List.fold_left
            (fun acc (_, o) ->
-             match o with `Outcome r -> acc + Op.result_bytes r | `Died -> acc)
+             match o with
+             | `Outcome r | `Replayed r -> acc + Op.result_bytes r
+             | `Died -> acc)
            32 outcomes
        in
-       Sim.Net.transfer net ~bytes:reply_bytes;
-       List.iter
-         (fun (p, o) ->
-           match o with
-           | `Outcome r -> Sim.Ivar.fill p.reply r
-           | `Died -> Sim.Ivar.fill_exn p.reply (Op.Unavailable (Printf.sprintf "sn%d" sn_id)))
-         outcomes
+       match Sim.Net.send net ~src:dst ~dst:t.endpoint ~bytes:reply_bytes with
+       | `Dropped ->
+           (* The operations executed but the reply was lost: to the
+              client this is a timeout.  Conditional writes that landed
+              replay their original verdict on the retry (the node's
+              replay cache keyed by op id) — without it the re-send would
+              conflict with its own first attempt. *)
+           Sim.Engine.sleep (engine t) (Cluster.config t.cluster).client_timeout_ns;
+           let err = Op.Unavailable dst in
+           List.iter (fun (p, _) -> Sim.Ivar.fill_exn p.reply err) outcomes
+       | `Delivered ->
+           List.iter
+             (fun (p, o) ->
+               match o with
+               | `Outcome Op.Fenced_reply | `Replayed Op.Fenced_reply ->
+                   Sim.Ivar.fill_exn p.reply (Op.Fenced dst)
+               | `Outcome r | `Replayed r -> Sim.Ivar.fill p.reply r
+               | `Died -> Sim.Ivar.fill_exn p.reply (Op.Unavailable dst))
+             outcomes
      end
    with e -> List.iter (fun p -> (try Sim.Ivar.fill_exn p.reply e with _ -> ())) batch);
   finish ()
 
-let enqueue t op =
+let fresh_op_id t =
+  t.next_op_id <- t.next_op_id + 1;
+  t.next_op_id
+
+let enqueue t ?(op_id = 0) op =
   let sn_id = master_for t (Op.key_of op) in
   let lane = t.lanes.(sn_id) in
   let reply = Sim.Ivar.create (engine t) in
-  Queue.push { op; reply } lane.queued;
+  Queue.push { op; op_id; reply } lane.queued;
   (sn_id, lane, reply)
 
 let kick t sn_id lane = if not lane.in_flight then dispatch t ~sn_id lane
 
-let submit t op =
-  let sn_id, lane, reply = enqueue t op in
+let submit t ?op_id op =
+  let sn_id, lane, reply = enqueue t ?op_id op in
   kick t sn_id lane;
   reply
 
@@ -199,8 +280,8 @@ let submit_many t ops =
   let touched = Hashtbl.create 8 in
   let replies =
     List.map
-      (fun op ->
-        let sn_id, lane, reply = enqueue t op in
+      (fun (op_id, op) ->
+        let sn_id, lane, reply = enqueue t ~op_id op in
         Hashtbl.replace touched sn_id lane;
         reply)
       ops
@@ -212,13 +293,18 @@ let submit_many t ops =
    partitions one at a time while streaming their data between survivors,
    so a chain can keep routing to the dead master for several
    milliseconds (longer still on a degraded interconnect).  Flat pauses
-   would exhaust the whole retry budget before the directory settles. *)
-let backoff_ns ~attempts = 20_000 * (1 lsl (max_retries - attempts))
+   would exhaust the whole retry budget before the directory settles.
+   Jittered (uniform in [base/2, 3*base/2)): when a partition heals, every
+   client that timed out against it retries at once, and lockstep retry
+   waves would re-congest the link that just recovered. *)
+let backoff_ns t ~attempts =
+  let base = 20_000 * (1 lsl (max_retries - attempts)) in
+  (base / 2) + Sim.Rng.int t.rng base
 
 let rec with_retry t ~attempts f =
   try f ()
   with Op.Unavailable _ when attempts > 0 ->
-    Sim.Engine.sleep (engine t) (backoff_ns ~attempts);
+    Sim.Engine.sleep (engine t) (backoff_ns t ~attempts);
     refresh_directory t;
     with_retry t ~attempts:(attempts - 1) f
 
@@ -234,59 +320,70 @@ let put t key data =
       | Op.Done -> ()
       | _ -> invalid_arg "Client.put: protocol mismatch")
 
+(* Conditional mutations travel under a stable per-op id across every
+   retry: the storage node replays the first verdict if the op already
+   executed and only the reply was lost (exactly-once over an
+   at-least-once network).  Plain reads and idempotent writes go out with
+   id 0 — re-executing them is harmless. *)
 let put_if t key expected data =
+  let op_id = fresh_op_id t in
   with_retry t ~attempts:max_retries (fun () ->
-      match Sim.Ivar.read (submit t (Op.Put_if (key, expected, data))) with
+      match Sim.Ivar.read (submit t ~op_id (Op.Put_if (key, expected, data))) with
       | Op.Token token -> `Ok token
       | Op.Conflict -> `Conflict
       | _ -> invalid_arg "Client.put_if: protocol mismatch")
 
 let remove_if t key expected =
+  let op_id = fresh_op_id t in
   with_retry t ~attempts:max_retries (fun () ->
-      match Sim.Ivar.read (submit t (Op.Remove (key, expected))) with
+      match Sim.Ivar.read (submit t ~op_id (Op.Remove (key, expected))) with
       | Op.Done -> `Ok
       | Op.Conflict -> `Conflict
       | _ -> invalid_arg "Client.remove_if: protocol mismatch")
 
 let increment t key by =
+  let op_id = fresh_op_id t in
   with_retry t ~attempts:max_retries (fun () ->
-      match Sim.Ivar.read (submit t (Op.Increment (key, by))) with
+      match Sim.Ivar.read (submit t ~op_id (Op.Increment (key, by))) with
       | Op.Count v -> v
       | _ -> invalid_arg "Client.increment: protocol mismatch")
 
 let multi_get t keys =
   with_retry t ~attempts:max_retries (fun () ->
-      let replies = submit_many t (List.map (fun k -> Op.Get k) keys) in
+      let replies = submit_many t (List.map (fun k -> (0, Op.Get k)) keys) in
       List.map (fun r -> expect_value (Sim.Ivar.read r)) replies)
 
-(* Unlike [multi_get], a failed write batch must NOT be retried
-   wholesale: a conditional write that already landed would observe its
-   own first attempt on the re-send and report a spurious [Conflict] —
-   which the committer then treats as lost, leaking the first attempt's
-   version (fail-over, §4.4.2).  Only the operations whose replies came
-   back [Unavailable] are re-submitted. *)
+(* Unlike [multi_get], a failed write batch is not retried wholesale:
+   only the operations whose replies came back [Unavailable] are
+   re-submitted (the others already returned a verdict).  Conditional
+   writes keep their op id across re-sends, so one that landed before the
+   reply was lost replays its original verdict instead of conflicting
+   with its own first attempt. *)
 let multi_write t ops =
   let results = Array.make (List.length ops) Op.Done in
   let rec go attempts pending =
-    let replies = submit_many t (List.map snd pending) in
+    let replies = submit_many t (List.map (fun (_, op_id, op) -> (op_id, op)) pending) in
     let failed =
       List.fold_left2
-        (fun acc (i, op) reply ->
+        (fun acc (i, op_id, op) reply ->
           match Sim.Ivar.read reply with
           | result ->
               results.(i) <- result;
               acc
-          | exception Op.Unavailable _ when attempts > 0 -> (i, op) :: acc)
+          | exception Op.Unavailable _ when attempts > 0 -> (i, op_id, op) :: acc)
         [] pending replies
     in
     match List.rev failed with
     | [] -> ()
     | failed ->
-        Sim.Engine.sleep (engine t) (backoff_ns ~attempts);
+        Sim.Engine.sleep (engine t) (backoff_ns t ~attempts);
         refresh_directory t;
         go (attempts - 1) failed
   in
-  go max_retries (List.mapi (fun i op -> (i, op)) ops);
+  go max_retries
+    (List.mapi
+       (fun i op -> (i, (if Op.needs_dedup op then fresh_op_id t else 0), op))
+       ops);
   Array.to_list results
 
 let scan_with t ~op_of =
@@ -302,7 +399,7 @@ let scan_with t ~op_of =
           if Storage_node.serving node then begin
             let lane = t.lanes.(sn_id) in
             let reply = Sim.Ivar.create (engine t) in
-            Queue.push { op = op_of (); reply } lane.queued;
+            Queue.push { op = op_of (); op_id = 0; reply } lane.queued;
             kick t sn_id lane;
             replies := reply :: !replies
           end)

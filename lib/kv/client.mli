@@ -14,8 +14,22 @@
 type t
 
 val create : Cluster.t -> group:Tell_sim.Engine.Group.t -> t
+(** The client's link identity is [group]'s label; its epoch is the
+    cluster epoch at creation.  A component standing in for a fenced
+    predecessor (same id, fresh instance) therefore writes under the
+    post-fence epoch automatically. *)
+
 val cluster : t -> Cluster.t
 val group : t -> Tell_sim.Engine.Group.t
+
+val endpoint : t -> string
+(** Link-endpoint name used as [src] on every request this client sends
+    (and [dst] on the replies) — the owning component's group label. *)
+
+val epoch : t -> int
+(** The cluster epoch stamped on this client's writes.  Storage nodes
+    refuse writes stamped below the sender's declared-dead fence with
+    {!Op.Fenced} (zombie fencing). *)
 
 (** {1 Single-record operations (LL/SC)} *)
 
@@ -53,3 +67,12 @@ val scan_eval_all : t -> prefix:string -> program:string -> (Op.key * string * i
 val requests_sent : t -> int
 val ops_sent : t -> int
 (** Batching ratio = ops_sent / requests_sent. *)
+
+val max_retries : int
+(** Size of the retry budget every operation starts with. *)
+
+val backoff_ns : t -> attempts:int -> int
+(** Sample the pause taken before the retry that has [attempts] budget
+    left: exponential in the retries already burned, uniformly jittered
+    in [base/2, 3*base/2) so clients that timed out against the same
+    partition do not retry in lockstep when it heals. *)

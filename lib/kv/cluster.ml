@@ -45,6 +45,9 @@ type t = {
   mgmt_cpu : Sim.Resource.t;
   mgmt_group : Sim.Engine.Group.t;
   mutable handled_crashes : int list;  (** node ids already repaired *)
+  mutable epoch : int;
+      (** cluster epoch, owned by the management node: bumped whenever a
+          member is declared dead, so its in-flight writes can be fenced *)
 }
 
 let create engine config =
@@ -71,6 +74,7 @@ let create engine config =
     mgmt_cpu = Sim.Resource.create engine ~servers:2 "mgmt";
     mgmt_group = Sim.Engine.make_group engine "mgmt";
     handled_crashes = [];
+    epoch = 1;
   }
 
 let engine t = t.engine
@@ -92,6 +96,44 @@ let restart_node t i =
 
 let inject_latency_spike t ~from_ns ~until_ns ?factor ?extra_ns () =
   Sim.Net.inject_fault t.net ~from_ns ~until_ns ?factor ?extra_ns ()
+
+(* --- epoch fencing (zombie protection) ------------------------------------ *)
+
+let sn_endpoint i = Printf.sprintf "sn%d" i
+let mgmt_endpoint = "mgmt"
+let current_epoch t = t.epoch
+
+(* Declare the named senders dead: bump the cluster epoch once and
+   install [fence sender (new epoch)] on every storage node, so writes
+   the senders still have in flight — tagged with the previous epoch —
+   bounce.  Must complete on every node BEFORE recovery rolls the
+   senders' transactions back; callers rely on that ordering.
+
+   One management message per live node models the installation cost
+   (bounded retries ride out flaky links; the fence itself is installed
+   regardless — it is management metadata a dead or partitioned node
+   re-syncs before it can serve again).  Must run inside a fiber. *)
+let fence_senders t ~senders =
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  Array.iteri
+    (fun i node ->
+      if Storage_node.alive node then begin
+        let rec push attempts =
+          match
+            Sim.Net.send t.net ~src:mgmt_endpoint ~dst:(sn_endpoint i) ~bytes:64
+          with
+          | `Delivered -> ()
+          | `Dropped when attempts > 0 ->
+              Sim.Engine.sleep t.engine t.config.client_timeout_ns;
+              push (attempts - 1)
+          | `Dropped -> ()
+        in
+        push 8
+      end;
+      List.iter (fun sender -> Storage_node.fence node ~sender ~epoch) senders)
+    t.nodes;
+  epoch
 
 let min_live_replication t =
   let worst = ref max_int in

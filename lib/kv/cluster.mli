@@ -63,6 +63,32 @@ val inject_latency_spike :
 (** Degrade the cluster interconnect for a virtual-time window — see
     {!Tell_sim.Net.inject_fault}.  Fault-scenario hook for [tell_check]. *)
 
+(** {1 Epoch fencing}
+
+    The management node owns a cluster epoch.  Clients stamp their writes
+    with the epoch they joined under; declaring a member dead bumps the
+    epoch and installs a fence for that member on every storage node, so
+    a {e zombie} — a falsely-suspected member healing from a partition —
+    finds its in-flight writes refused ({!Op.Fenced}) instead of silently
+    completing work recovery already rolled back. *)
+
+val current_epoch : t -> int
+(** The epoch a client joining now would be stamped with (starts at 1). *)
+
+val fence_senders : t -> senders:string list -> int
+(** Bump the cluster epoch and install it as the minimum accepted write
+    epoch for each named sender endpoint on every storage node; returns
+    the new epoch.  Callers must invoke this {e before} rolling the
+    senders' transactions back, and from inside a fiber (it models one
+    management message per node). *)
+
+val sn_endpoint : int -> string
+(** The link-endpoint name of storage node [i] ("sn<i>") — the naming
+    scheme shared by clients, {!fence_senders} and the harness's
+    partition scenarios. *)
+
+val mgmt_endpoint : string
+
 val min_live_replication : t -> int
 (** The minimum, over all partitions, of the number of {e live} replicas
     — the cluster's current worst-case redundancy.  Equals the

@@ -31,10 +31,19 @@ type result =
   | Count of int  (** reply to [Increment]: the post-increment value *)
   | Keys of (key * string * int) list  (** reply to [Scan] *)
   | Done  (** reply to [Put] / unconditional [Remove] *)
+  | Fenced_reply
+      (** the write carried an epoch token from before its sender's
+          declared-dead epoch; the node refused it (zombie fencing) *)
 
 exception Unavailable of string
 (** The responsible storage node could not be reached (crash + fail-over in
     progress).  Clients retry after refreshing the partition directory. *)
+
+exception Fenced of string
+(** The management node declared this client's owner dead and fenced its
+    epoch: the storage nodes reject all of its writes.  Not retryable —
+    the owner must stop treating itself as a cluster member (a zombie
+    coming back from a partition must not complete rolled-back work). *)
 
 exception Capacity_exceeded of int
 (** The storage node identified by the payload ran out of memory. *)
@@ -46,6 +55,15 @@ let key_of = function
 let is_write = function
   | Get _ | Scan _ | Scan_eval _ -> false
   | Put _ | Put_if _ | Remove _ | Increment _ -> true
+
+(* Conditional mutations are not idempotent under at-least-once delivery:
+   a client retrying after a lost reply would observe its own first
+   attempt and report a spurious [Conflict] (or double-apply an
+   [Increment]).  These ops carry a client-unique operation id; the
+   storage node caches the first result and replays it on a retry. *)
+let needs_dedup = function
+  | Put_if _ | Increment _ | Remove (_, Some _) -> true
+  | Get _ | Put _ | Remove (_, None) | Scan _ | Scan_eval _ -> false
 
 (* Approximate wire sizes, for the network model. *)
 let per_op_overhead = 24
@@ -60,7 +78,7 @@ let request_bytes = function
 
 let result_bytes = function
   | Value (Some (v, _)) -> String.length v + per_op_overhead
-  | Value None | Token _ | Conflict | Count _ | Done -> per_op_overhead
+  | Value None | Token _ | Conflict | Count _ | Done | Fenced_reply -> per_op_overhead
   | Keys entries ->
       List.fold_left
         (fun acc (k, v, _) -> acc + String.length k + String.length v + per_op_overhead)

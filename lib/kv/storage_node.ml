@@ -17,6 +17,23 @@ type t = {
          stale client directories must not read its empty store as
          authoritative. *)
   mutable evaluator : (program:string -> key:Op.key -> data:string -> string option) option;
+  fences : (string, int) Hashtbl.t;
+      (* sender endpoint -> minimum accepted epoch.  Installed by the
+         management node when it declares the sender dead: writes tagged
+         with an older epoch bounce ([Fenced_reply]), so a zombie healing
+         from a partition cannot complete work recovery already rolled
+         back.  Deliberately NOT cleared by [restart]: the fence is
+         management metadata a rejoining node re-syncs before serving,
+         not DRAM state. *)
+  mutable fenced_rejects : int;
+  replays : (int * int, Op.result) Hashtbl.t;
+      (* (client uid, op id) -> first result of a conditional mutation:
+         exactly-once semantics over an at-least-once network.  A client
+         whose reply was lost re-sends the op under the same id and gets
+         the cached verdict instead of conflicting with its own write.
+         Bounded FIFO ([replay_cap]); retries arrive within the client's
+         few-millisecond retry budget, far inside the cache's lifetime. *)
+  replay_order : (int * int) Queue.t;
 }
 
 let create engine ~id ~cores ~capacity_bytes ~base_service_ns ~per_byte_service_ns =
@@ -34,6 +51,10 @@ let create engine ~id ~cores ~capacity_bytes ~base_service_ns ~per_byte_service_
     alive = true;
     serving = true;
     evaluator = None;
+    fences = Hashtbl.create 8;
+    fenced_rejects = 0;
+    replays = Hashtbl.create 256;
+    replay_order = Queue.create ();
   }
 
 let id t = t.id
@@ -51,6 +72,8 @@ let crash t =
    management node picks it for a future repair. *)
 let restart t =
   Hashtbl.reset t.cells;
+  Hashtbl.reset t.replays;
+  Queue.clear t.replay_order;
   t.bytes_stored <- 0;
   t.alive <- true;
   t.serving <- false;
@@ -178,7 +201,40 @@ let execute t (op : Op.t) : Op.result =
             t.cells;
           Keys (List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) !matches))
 
-let apply t op =
+(* Zombie fencing (declared-dead epochs): a write carrying an epoch token
+   older than the sender's fence is refused.  Reads pass — a stale
+   snapshot read is valid SI; only mutations can corrupt state. *)
+let fence t ~sender ~epoch =
+  match Hashtbl.find_opt t.fences sender with
+  | Some e when e >= epoch -> ()
+  | Some _ | None -> Hashtbl.replace t.fences sender epoch
+
+let write_fenced t ~sender op =
+  Op.is_write op
+  &&
+  match sender with
+  | None -> false
+  | Some (name, epoch) -> (
+      match Hashtbl.find_opt t.fences name with
+      | Some min_epoch -> epoch < min_epoch
+      | None -> false)
+
+let fenced_rejects t = t.fenced_rejects
+
+let replay_cap = 8192
+
+let find_replay t ~client ~op_id = Hashtbl.find_opt t.replays (client, op_id)
+
+let record_replay t ~client ~op_id result =
+  let key = (client, op_id) in
+  if not (Hashtbl.mem t.replays key) then begin
+    Hashtbl.replace t.replays key result;
+    Queue.push key t.replay_order;
+    if Queue.length t.replay_order > replay_cap then
+      Hashtbl.remove t.replays (Queue.pop t.replay_order)
+  end
+
+let apply t ?sender op =
   let bytes =
     match op with
     | Op.Scan _ ->
@@ -190,13 +246,21 @@ let apply t op =
     | op -> Op.request_bytes op
   in
   charge t bytes;
-  execute t op
+  if write_fenced t ~sender op then begin
+    t.fenced_rejects <- t.fenced_rejects + 1;
+    Op.Fenced_reply
+  end
+  else execute t op
 
 (* Replicas install the master's outcome verbatim: only effective writes
-   are shipped, so conditions have already been decided. *)
-let apply_replica t (op : Op.t) (outcome : Op.result) =
+   are shipped, so conditions have already been decided.  The fence is
+   checked here too: a zombie resuming its replication traffic after a
+   heal must not resurrect rolled-back versions on the backups. *)
+let apply_replica t ?sender (op : Op.t) (outcome : Op.result) =
   charge t (Op.request_bytes op);
-  match (op, outcome) with
+  if write_fenced t ~sender op then t.fenced_rejects <- t.fenced_rejects + 1
+  else
+    match (op, outcome) with
   | Put_if (key, _, data), Token token ->
       (* Preserve the master's token so LL/SC tokens survive a fail-over. *)
       let _ = store t key data in

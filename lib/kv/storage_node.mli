@@ -44,15 +44,45 @@ val bytes_stored : t -> int
 val capacity_bytes : t -> int
 val cpu : t -> Tell_sim.Resource.t
 
-val apply : t -> Op.t -> Op.result
+val apply : t -> ?sender:string * int -> Op.t -> Op.result
 (** Execute one operation against the local store, charging CPU time.
     Raises {!Op.Capacity_exceeded} when an insert/update would exceed the
-    configured memory capacity.  Must be called from a fiber. *)
+    configured memory capacity.  Must be called from a fiber.
 
-val apply_replica : t -> Op.t -> Op.result -> unit
+    [sender] is the caller's identity tag [(endpoint, epoch)]: a write
+    whose epoch predates the sender's installed fence is refused with
+    {!Op.result.Fenced_reply} instead of executing (zombie fencing —
+    see {!fence}). *)
+
+val apply_replica : t -> ?sender:string * int -> Op.t -> Op.result -> unit
 (** Install the effect of a master-side operation on a backup copy.  The
     master's [result] disambiguates conditional writes: only successful
-    writes are shipped to replicas, so this unconditionally applies. *)
+    writes are shipped to replicas, so this unconditionally applies —
+    unless [sender] is fenced, in which case the write is discarded (a
+    healed zombie's replication stream must not resurrect rolled-back
+    versions on backups). *)
+
+val fence : t -> sender:string -> epoch:int -> unit
+(** Refuse all future writes from [sender] whose epoch is below [epoch].
+    Installed by the management node {e before} recovery rolls the
+    sender's transactions back, and never stepped backwards.  Fences
+    survive {!restart}: they are management metadata, not DRAM state. *)
+
+val fenced_rejects : t -> int
+(** How many writes this node bounced with [Fenced_reply]. *)
+
+val find_replay : t -> client:int -> op_id:int -> Op.result option
+(** Cached first result of a conditional mutation previously executed
+    under [(client, op_id)] — exactly-once semantics over an
+    at-least-once network.  A client that lost the reply re-sends the op
+    under the same id and must get the original verdict back, not a
+    spurious [Conflict] against its own write. *)
+
+val record_replay : t -> client:int -> op_id:int -> Op.result -> unit
+(** Remember the first result of a conditional mutation for {!find_replay}.
+    First write per id wins; the cache is a bounded FIFO, sized far above
+    anything a client's few-millisecond retry budget can span.  Cleared by
+    {!restart} together with the cells it refers to. *)
 
 val snapshot : t -> (Op.key * string * int) list
 (** Dump all cells (for re-replication after fail-over). *)

@@ -25,11 +25,11 @@ let test_tid_uniqueness () =
       for _ = 1 to workers do
         Sim.Engine.spawn engine (fun () ->
             for _ = 1 to per_worker do
-              let reply = Commit_manager.start cm ~from_group:(group engine) in
+              let reply = Commit_manager.start cm ~from_group:(group engine) () in
               Alcotest.(check bool) "tid unique" false (Hashtbl.mem seen reply.tid);
               Hashtbl.replace seen reply.tid ();
               Sim.Engine.sleep engine 1_000;
-              Commit_manager.set_committed cm ~tid:reply.tid
+              Commit_manager.set_committed cm ~tid:reply.tid ()
             done;
             incr finished)
       done;
@@ -41,36 +41,36 @@ let test_tid_uniqueness () =
 let test_snapshot_excludes_active () =
   run (fun engine cluster ->
       let cm = Commit_manager.create cluster ~id:0 () in
-      let t1 = Commit_manager.start cm ~from_group:(group engine) in
-      let t2 = Commit_manager.start cm ~from_group:(group engine) in
+      let t1 = Commit_manager.start cm ~from_group:(group engine) () in
+      let t2 = Commit_manager.start cm ~from_group:(group engine) () in
       (* Neither sees the other (both still active). *)
       Alcotest.(check bool) "t2 not in t1 snapshot" false (Version_set.mem t1.snapshot t2.tid);
       Alcotest.(check bool) "t1 not in t2 snapshot" false (Version_set.mem t2.snapshot t1.tid);
-      Commit_manager.set_committed cm ~tid:t1.tid;
-      let t3 = Commit_manager.start cm ~from_group:(group engine) in
+      Commit_manager.set_committed cm ~tid:t1.tid ();
+      let t3 = Commit_manager.start cm ~from_group:(group engine) () in
       Alcotest.(check bool) "t3 sees committed t1" true (Version_set.mem t3.snapshot t1.tid);
       Alcotest.(check bool) "t3 does not see active t2" false (Version_set.mem t3.snapshot t2.tid);
-      Commit_manager.set_aborted cm ~tid:t2.tid;
-      Commit_manager.set_committed cm ~tid:t3.tid)
+      Commit_manager.set_aborted cm ~tid:t2.tid ();
+      Commit_manager.set_committed cm ~tid:t3.tid ())
 
 let test_lav_is_safe () =
   run (fun engine cluster ->
       let cm = Commit_manager.create cluster ~id:0 () in
-      let long_runner = Commit_manager.start cm ~from_group:(group engine) in
+      let long_runner = Commit_manager.start cm ~from_group:(group engine) () in
       (* Start and commit many transactions while one stays active. *)
       for _ = 1 to 50 do
-        let t = Commit_manager.start cm ~from_group:(group engine) in
-        Commit_manager.set_committed cm ~tid:t.tid
+        let t = Commit_manager.start cm ~from_group:(group engine) () in
+        Commit_manager.set_committed cm ~tid:t.tid ()
       done;
-      let newcomer = Commit_manager.start cm ~from_group:(group engine) in
+      let newcomer = Commit_manager.start cm ~from_group:(group engine) () in
       (* The lav may never exceed the base of any active snapshot: a version
          at or below the lav must be visible to everyone still running. *)
       Alcotest.(check bool) "lav <= long runner's base" true
         (newcomer.lav <= Version_set.base long_runner.snapshot);
-      Commit_manager.set_committed cm ~tid:long_runner.tid;
-      Commit_manager.set_committed cm ~tid:newcomer.tid;
+      Commit_manager.set_committed cm ~tid:long_runner.tid ();
+      Commit_manager.set_committed cm ~tid:newcomer.tid ();
       (* Once the long-runner finishes, the lav catches up. *)
-      let final = Commit_manager.start cm ~from_group:(group engine) in
+      let final = Commit_manager.start cm ~from_group:(group engine) () in
       Alcotest.(check bool) "lav advanced" true (final.lav > newcomer.lav))
 
 let test_multi_cm_sync () =
@@ -79,16 +79,16 @@ let test_multi_cm_sync () =
       let cm1 = Commit_manager.create cluster ~id:1 ~peers:[ 0; 1 ] ~sync_interval_ns:500_000 () in
       (* Commit through cm0; after a couple of sync intervals, cm1's
          snapshots include it. *)
-      let t = Commit_manager.start cm0 ~from_group:(group engine) in
-      Commit_manager.set_committed cm0 ~tid:t.tid;
+      let t = Commit_manager.start cm0 ~from_group:(group engine) () in
+      Commit_manager.set_committed cm0 ~tid:t.tid ();
       Sim.Engine.sleep engine 2_000_000;
-      let via_cm1 = Commit_manager.start cm1 ~from_group:(group engine) in
+      let via_cm1 = Commit_manager.start cm1 ~from_group:(group engine) () in
       Alcotest.(check bool) "cm1 snapshot includes cm0's commit" true
         (Version_set.mem via_cm1.snapshot t.tid);
-      Commit_manager.set_committed cm1 ~tid:via_cm1.tid;
+      Commit_manager.set_committed cm1 ~tid:via_cm1.tid ();
       (* Tids from the two managers never collide (shared counter). *)
-      let a = Commit_manager.start cm0 ~from_group:(group engine) in
-      let b = Commit_manager.start cm1 ~from_group:(group engine) in
+      let a = Commit_manager.start cm0 ~from_group:(group engine) () in
+      let b = Commit_manager.start cm1 ~from_group:(group engine) () in
       Alcotest.(check bool) "distinct tids across managers" true (a.tid <> b.tid))
 
 let test_cm_failover_recovery () =
@@ -96,8 +96,8 @@ let test_cm_failover_recovery () =
       let cm0 = Commit_manager.create cluster ~id:0 ~sync_interval_ns:500_000 () in
       let committed = ref [] in
       for _ = 1 to 30 do
-        let t = Commit_manager.start cm0 ~from_group:(group engine) in
-        Commit_manager.set_committed cm0 ~tid:t.tid;
+        let t = Commit_manager.start cm0 ~from_group:(group engine) () in
+        Commit_manager.set_committed cm0 ~tid:t.tid ();
         committed := t.tid :: !committed
       done;
       (* Let it publish, then crash it and stand up a replacement. *)
@@ -105,7 +105,7 @@ let test_cm_failover_recovery () =
       Commit_manager.crash cm0;
       let cm1 = Commit_manager.create cluster ~id:1 ~peers:[ 0; 1 ] () in
       Commit_manager.recover cm1;
-      let t = Commit_manager.start cm1 ~from_group:(group engine) in
+      let t = Commit_manager.start cm1 ~from_group:(group engine) () in
       List.iter
         (fun tid ->
           Alcotest.(check bool)
@@ -120,7 +120,7 @@ let test_dead_cm_unavailable () =
   run (fun engine cluster ->
       let cm = Commit_manager.create cluster ~id:0 () in
       Commit_manager.crash cm;
-      match Commit_manager.start cm ~from_group:(group engine) with
+      match Commit_manager.start cm ~from_group:(group engine) () with
       | _ -> Alcotest.fail "dead manager must not answer"
       | exception Kv.Op.Unavailable _ -> ())
 

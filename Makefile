@@ -9,11 +9,14 @@ test:
 	dune runtest
 
 # The gate CI runs: everything compiles, all test suites pass, the
-# deterministic fault-injection matrix is green, and the examples run.
+# deterministic fault-injection matrix is green (with the SI anomaly
+# checker validating every run's history), the mutation battery proves
+# the checker still detects a weakened engine, and the examples run.
 check:
 	dune build @all
 	dune runtest
 	dune exec bin/tell_check.exe -- --quick
+	dune exec bin/tell_check.exe -- --mutation
 	$(MAKE) examples-smoke
 
 examples-smoke:

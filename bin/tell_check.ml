@@ -11,21 +11,40 @@
 
      tell_check --quick                  # the CI matrix (20 seeds x 8 scenarios)
      tell_check --seed 7 --scenario chaos   # reproduce one run
-     tell_check --deterministic-audit    # same seed twice, compare counters *)
+     tell_check --deterministic-audit    # same seed twice, compare counters
+     tell_check --mutation               # prove the SI checker catches broken engines
+     tell_check --seed 7 --scenario chaos --history-dump run.hist  # for tell_histcheck *)
 
 module Check = Tell_harness.Check
+module History = Tell_core.History
 
 let scenario_names = List.map Check.scenario_name Check.all_scenarios
 
-let run_matrix ~seeds ~scenarios ~perturb ~verbose =
+let dump_history path history =
+  let oc = open_out path in
+  output_string oc "# tell_check history dump; re-check offline with: tell_histcheck ";
+  output_string oc path;
+  output_char oc '\n';
+  List.iter
+    (fun e ->
+      output_string oc (History.encode_line e);
+      output_char oc '\n')
+    history;
+  close_out oc;
+  Printf.printf "history (%d events) dumped to %s\n%!" (List.length history) path
+
+let run_matrix ~seeds ~scenarios ~perturb ~verbose ~history_dump =
   let failures = ref [] in
   let total = ref 0 in
+  let dumped = ref false in
+  let last_history = ref [] in
   List.iter
     (fun seed ->
       List.iter
         (fun scenario ->
           incr total;
           let o = Check.run_one ~seed ~scenario ~perturb () in
+          last_history := o.Check.o_history;
           let ok = o.Check.o_violations = [] in
           if (not ok) || verbose then
             Printf.printf "%-12s seed %-4d %6d committed %6d aborted  %s\n%!"
@@ -33,10 +52,21 @@ let run_matrix ~seeds ~scenarios ~perturb ~verbose =
               (if ok then "ok" else "FAIL");
           if not ok then begin
             List.iter (fun v -> Printf.printf "    violation: %s\n%!" v) o.Check.o_violations;
-            failures := (seed, scenario) :: !failures
+            failures := (seed, scenario) :: !failures;
+            (* Dump the first failing run's history for offline analysis. *)
+            match history_dump with
+            | Some path when not !dumped ->
+                dumped := true;
+                dump_history path o.Check.o_history
+            | _ -> ()
           end)
         scenarios)
     seeds;
+  (* Nothing failed: a requested dump still gets the last run's history
+     (the single-run repro workflow). *)
+  (match history_dump with
+  | Some path when not !dumped -> dump_history path !last_history
+  | _ -> ());
   match List.rev !failures with
   | [] ->
       Printf.printf "tell_check: %d/%d runs passed\n" !total !total;
@@ -69,6 +99,55 @@ let run_audit ~seeds ~scenarios ~perturb =
         scenarios)
     seeds;
   if !failed then 1 else 0
+
+(* Mutation battery: the anomaly checker is only evidence of SI if it
+   rejects an engine that is actually broken.  Run the no-fault workload
+   with the test-only weakened-conflict-detection knob on — lost updates
+   then commit on purpose — and require the histcheck invariant to flag a
+   lost-update or G-SI cycle with a witness; then re-run unmodified and
+   require a clean bill. *)
+let run_mutation ~perturb =
+  let seeds = [ 1; 2; 3 ] in
+  let is_histcheck v = String.length v >= 10 && String.sub v 0 10 = "histcheck:" in
+  let has_cycle_witness v =
+    let contains sub =
+      let n = String.length v and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub v i m = sub || go (i + 1)) in
+      go 0
+    in
+    contains "lost-update" || contains "G-SI" || contains "G1c"
+  in
+  let failed = ref false in
+  List.iter
+    (fun seed ->
+      let o = Check.run_one ~seed ~scenario:Check.No_fault ~perturb ~weaken:true () in
+      let flagged = List.filter is_histcheck o.Check.o_violations in
+      (match List.filter has_cycle_witness flagged with
+      | w :: _ ->
+          Printf.printf "mutation    seed %-4d weakened engine rejected (%d anomalies)\n    %s\n%!"
+            seed (List.length flagged) w
+      | [] ->
+          failed := true;
+          Printf.printf
+            "mutation    seed %-4d FAIL: weakened conflict detection not flagged as \
+             lost-update/G-SI (%d histcheck violations)\n%!"
+            seed (List.length flagged));
+      let c = Check.run_one ~seed ~scenario:Check.No_fault ~perturb () in
+      match List.filter is_histcheck c.Check.o_violations with
+      | [] -> Printf.printf "mutation    seed %-4d unmodified engine accepted\n%!" seed
+      | vs ->
+          failed := true;
+          Printf.printf "mutation    seed %-4d FAIL: unmodified engine rejected:\n%!" seed;
+          List.iter (fun v -> Printf.printf "    %s\n%!" v) vs)
+    seeds;
+  if !failed then begin
+    Printf.printf "tell_check --mutation: FAILED\n";
+    1
+  end
+  else begin
+    Printf.printf "tell_check --mutation: checker rejects broken engine, accepts real one\n";
+    0
+  end
 
 open Cmdliner
 
@@ -106,7 +185,26 @@ let no_perturb =
 
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every run, not only failures.")
 
-let main quick full seed seeds scenario audit no_perturb verbose =
+let mutation =
+  Arg.(
+    value & flag
+    & info [ "mutation" ]
+        ~doc:
+          "Mutation-testing battery for the SI anomaly checker: run the no-fault workload with \
+           conflict detection deliberately weakened and require a lost-update/G-SI rejection \
+           with a printed witness cycle, then re-run unmodified and require acceptance.")
+
+let history_dump =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "history-dump" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded transaction history of the first failing run (or, if every run \
+           passes, the last run) to $(docv) — one event per line, re-checkable offline with \
+           tell_histcheck.")
+
+let main quick full seed seeds scenario audit no_perturb verbose mutation history_dump =
   let scenarios =
     match scenario with
     | Some "all" -> Ok Check.all_scenarios
@@ -136,14 +234,16 @@ let main quick full seed seeds scenario audit no_perturb verbose =
             List.init k (fun i -> i + 1)
       in
       let perturb = not no_perturb in
-      if audit then run_audit ~seeds ~scenarios ~perturb
-      else run_matrix ~seeds ~scenarios ~perturb ~verbose
+      if mutation then run_mutation ~perturb
+      else if audit then run_audit ~seeds ~scenarios ~perturb
+      else run_matrix ~seeds ~scenarios ~perturb ~verbose ~history_dump
 
 let cmd =
   let doc = "deterministic fault-injection and schedule-exploration harness" in
   Cmd.v
     (Cmd.info "tell_check" ~doc)
     Term.(
-      const main $ quick $ full $ seed $ seeds $ scenario $ audit $ no_perturb $ verbose)
+      const main $ quick $ full $ seed $ seeds $ scenario $ audit $ no_perturb $ verbose
+      $ mutation $ history_dump)
 
 let () = exit (Cmd.eval' cmd)

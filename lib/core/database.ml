@@ -76,8 +76,11 @@ let start_tid_reclamation t =
                       List.iter
                         (fun key -> Rollback.remove_version kv ~key ~version:tid)
                         entry.write_set;
+                      History.note_rolled_back ~tid;
                       aborted := tid :: !aborted
-                  | None -> aborted := tid :: !aborted
+                  | None ->
+                      History.note_rolled_back ~tid;
+                      aborted := tid :: !aborted
                 end
                 else Hashtbl.replace suspects tid ()
               else Hashtbl.remove suspects tid

@@ -1,0 +1,104 @@
+type event =
+  | Begin of { tid : int; pn_id : int; snapshot : Version_set.t }
+  | Read of { tid : int; key : string; version : int; intermediate : bool }
+  | Write of { tid : int; key : string; version : int; tombstone : bool }
+  | Commit of { tid : int }
+  | Abort of { tid : int }
+  | Rolled_back of { tid : int }
+  | Node_event of { pn_id : int; what : string }
+
+(* One global recorder, newest event first.  A single ref read when off:
+   the hooks sit on the transaction hot paths and the bench gate runs
+   with recording disabled. *)
+type recorder = { mutable events : event list }
+
+let current : recorder option ref = ref None
+
+let start () = current := Some { events = [] }
+
+let stop () =
+  match !current with
+  | None -> []
+  | Some r ->
+      current := None;
+      List.rev r.events
+
+let recording () = !current <> None
+
+let record ev =
+  match !current with None -> () | Some r -> r.events <- ev :: r.events
+
+let note_begin ~tid ~pn_id ~snapshot =
+  match !current with
+  | None -> ()
+  | Some r -> r.events <- Begin { tid; pn_id; snapshot } :: r.events
+
+let note_read ~tid ~key ~version =
+  match !current with
+  | None -> ()
+  | Some r -> r.events <- Read { tid; key; version; intermediate = false } :: r.events
+
+let note_write ~tid ~key ~version ~tombstone =
+  match !current with
+  | None -> ()
+  | Some r -> r.events <- Write { tid; key; version; tombstone } :: r.events
+
+let note_commit ~tid = record (Commit { tid })
+let note_abort ~tid = record (Abort { tid })
+let note_rolled_back ~tid = record (Rolled_back { tid })
+let note_node ~pn_id ~what = record (Node_event { pn_id; what })
+
+(* --- dump format ------------------------------------------------------------------ *)
+
+let encode_snapshot vs =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf (string_of_int (Version_set.base vs));
+  List.iter (fun v -> Buffer.add_char buf '+'; Buffer.add_string buf (string_of_int v))
+    (Version_set.above vs);
+  Buffer.contents buf
+
+let decode_snapshot s =
+  match String.split_on_char '+' s with
+  | [] -> Version_set.empty
+  | base :: above ->
+      List.fold_left
+        (fun vs v -> Version_set.add vs (int_of_string v))
+        (Version_set.of_base (int_of_string base))
+        above
+
+let encode_line = function
+  | Begin { tid; pn_id; snapshot } ->
+      Printf.sprintf "B %d %d %s" tid pn_id (encode_snapshot snapshot)
+  | Read { tid; key; version; intermediate } ->
+      Printf.sprintf "R %d %d %d %S" tid version (if intermediate then 1 else 0) key
+  | Write { tid; key; version; tombstone } ->
+      Printf.sprintf "W %d %d %d %S" tid version (if tombstone then 1 else 0) key
+  | Commit { tid } -> Printf.sprintf "C %d" tid
+  | Abort { tid } -> Printf.sprintf "A %d" tid
+  | Rolled_back { tid } -> Printf.sprintf "X %d" tid
+  | Node_event { pn_id; what } -> Printf.sprintf "N %d %s" pn_id what
+
+let decode_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else
+    try
+      match line.[0] with
+      | 'B' ->
+          Scanf.sscanf line "B %d %d %s" (fun tid pn_id vs ->
+              Some (Begin { tid; pn_id; snapshot = decode_snapshot vs }))
+      | 'R' ->
+          Scanf.sscanf line "R %d %d %d %S" (fun tid version i key ->
+              Some (Read { tid; key; version; intermediate = i <> 0 }))
+      | 'W' ->
+          Scanf.sscanf line "W %d %d %d %S" (fun tid version tomb key ->
+              Some (Write { tid; key; version; tombstone = tomb <> 0 }))
+      | 'C' -> Scanf.sscanf line "C %d" (fun tid -> Some (Commit { tid }))
+      | 'A' -> Scanf.sscanf line "A %d" (fun tid -> Some (Abort { tid }))
+      | 'X' -> Scanf.sscanf line "X %d" (fun tid -> Some (Rolled_back { tid }))
+      | 'N' ->
+          Scanf.sscanf line "N %d %s" (fun pn_id what ->
+              Some (Node_event { pn_id; what }))
+      | _ -> failwith ("History.decode_line: unknown tag in " ^ line)
+    with Scanf.Scan_failure _ | End_of_file | Failure _ ->
+      failwith ("History.decode_line: malformed line " ^ line)

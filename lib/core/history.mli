@@ -1,0 +1,75 @@
+(** Transaction-history capture for the SI anomaly checker (Elle-lite).
+
+    A recorded history is the sequence of observable transaction events of
+    one simulated run: the snapshot descriptor fetched at begin, every
+    read with the record version it actually observed, every buffered
+    write with the version it will install, the commit/abort decision, and
+    any post-hoc revocation (recovery or the tid-reclamation sweep rolling
+    an undecided transaction back).  [Tell_histcheck.Checker] rebuilds the
+    direct serialization graph from such a history and classifies its
+    cycles (Adya's G0/G1a/G1b/G1c, lost update, G-SI).
+
+    Recording is {e opt-in} and globally scoped, mirroring
+    {!Txn.set_commit_probe}: when no recorder is installed every hook is a
+    single mutable-ref read, so the hot paths pay nothing in benchmark
+    runs.  The hooks never suspend.  Install/uninstall around each harness
+    run; histories from different runs must not be mixed (version numbers
+    restart per cluster). *)
+
+type event =
+  | Begin of { tid : int; pn_id : int; snapshot : Version_set.t }
+  | Read of { tid : int; key : string; version : int; intermediate : bool }
+      (** [version] is the record version the read actually resolved to
+          under the transaction's snapshot; [0] stands for both the
+          bulk-load version and "no visible version" (absent record) —
+          the two are indistinguishable to a snapshot and are treated as
+          the initial version of the key.  [intermediate] is always
+          [false] for recorded histories (only the final buffered payload
+          of a transaction is ever applied); hand-built histories set it
+          to model Adya's intermediate reads (G1b). *)
+  | Write of { tid : int; key : string; version : int; tombstone : bool }
+      (** The version this transaction installs on [key] if it commits
+          ([version = tid] in recorded histories).  [tombstone] marks
+          deletes: a tombstone that becomes the sole surviving version is
+          garbage-collected together with its record, so a later read
+          legitimately observes version 0 again. *)
+  | Commit of { tid : int }
+  | Abort of { tid : int }
+  | Rolled_back of { tid : int }
+      (** Recovery (or the tid-reclamation sweep) removed this
+          transaction's versions and decided it aborted — overrides an
+          earlier [Commit]: an acknowledged commit whose log flag never
+          landed (its node died or was fenced first) is a ghost, and its
+          writes are gone. *)
+  | Node_event of { pn_id : int; what : string }
+      (** Context marker ("crash", "poison") — ignored by the checker,
+          kept in dumps to make them debuggable. *)
+
+(** {1 Recording} *)
+
+val start : unit -> unit
+(** Install a fresh recorder (discarding any previous one). *)
+
+val stop : unit -> event list
+(** Uninstall the recorder and return the captured events in order;
+    [[]] if none was installed. *)
+
+val recording : unit -> bool
+
+val note_begin : tid:int -> pn_id:int -> snapshot:Version_set.t -> unit
+val note_read : tid:int -> key:string -> version:int -> unit
+val note_write : tid:int -> key:string -> version:int -> tombstone:bool -> unit
+val note_commit : tid:int -> unit
+val note_abort : tid:int -> unit
+val note_rolled_back : tid:int -> unit
+val note_node : pn_id:int -> what:string -> unit
+
+(** {1 Dump format}
+
+    One event per line, keys quoted with [%S] — the format behind
+    [tell_check --history-dump] and [bin/tell_histcheck.exe]. *)
+
+val encode_line : event -> string
+
+val decode_line : string -> event option
+(** [None] on blank/comment ([#]) lines; raises [Failure] on garbage. *)

@@ -59,6 +59,7 @@ let rid_range_size = 64
    those tids) and kill every fiber.  Idempotent. *)
 let poison t =
   if t.alive then begin
+    History.note_node ~pn_id:t.id ~what:"poison";
     t.fenced <- true;
     t.alive <- false;
     (match t.notifier with Some n -> Notifier.discard n | None -> ());
@@ -122,6 +123,7 @@ let notifier t =
   match t.notifier with Some n -> n | None -> invalid_arg "Pn.notifier: not initialised"
 
 let crash t =
+  History.note_node ~pn_id:t.id ~what:"crash";
   t.alive <- false;
   Sim.Engine.Group.kill t.group
 

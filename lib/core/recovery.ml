@@ -51,6 +51,7 @@ let fences_installed t = t.fences_installed
    advance past its tid. *)
 let roll_back t (entry : Txlog.entry) =
   List.iter (fun key -> Rollback.remove_version t.kv ~key ~version:entry.tid) entry.write_set;
+  History.note_rolled_back ~tid:entry.tid;
   Txlog.append t.kv { entry with committed = false };
   (try Commit_manager.set_aborted t.cm ~tid:entry.tid ()
    with Kv.Op.Unavailable _ -> ());

@@ -42,6 +42,31 @@ type commit_probe =
 let commit_probe : commit_probe option ref = ref None
 let set_commit_probe probe = commit_probe := probe
 
+(* Test-only mutation knob for the histcheck battery (DESIGN.md §7): when
+   set, both conflict checks are deliberately broken — the begin-time
+   invisible-version abort is skipped and a failed commit-time LL/SC is
+   "resolved" by merging the lost version over whatever won the race.
+   The resulting histories must be rejected by the SI anomaly checker
+   (lost update / G-SI); a checker that accepts them is itself broken.
+   Never set outside tests. *)
+let weaken_conflict_detection = ref false
+let unsafe_set_weaken_conflict_detection flag = weaken_conflict_detection := flag
+
+(* History capture (opt-in, see History): the version a read resolved to
+   under this transaction's snapshot.  Version 0 stands for both the
+   bulk-load version and an absent record — indistinguishable to a
+   snapshot, both are "the initial version". *)
+let note_observed t ~key state =
+  if History.recording () then
+    History.note_read ~tid:t.tid ~key
+      ~version:
+        (match state with
+        | None -> 0
+        | Some { record; _ } -> (
+            match Record.latest_visible record ~visible:(fun v -> Version_set.mem t.snapshot v) with
+            | Some v -> v.Record.version
+            | None -> 0))
+
 let fire_commit_probe t ~write_set =
   match !commit_probe with
   | None -> ()
@@ -67,6 +92,7 @@ let begin_txn ?(isolation = Snapshot_isolation) pn =
      commit/abort decision the reclamation sweep must treat it as live. *)
   Pn.claim_tid pn reply.tid;
   Pn.note_started_snapshot pn reply.snapshot;
+  History.note_begin ~tid:reply.tid ~pn_id:(Pn.id pn) ~snapshot:reply.snapshot;
   {
     pn;
     cm;
@@ -123,7 +149,9 @@ let read t ~table ~rid =
   match Hashtbl.find_opt t.writes key with
   | Some w -> payload_to_tuple w.w_payload
   | None -> (
-      match fetch t ~table ~rid with
+      let state = fetch t ~table ~rid in
+      note_observed t ~key state;
+      match state with
       | None -> None
       | Some { record; _ } -> (
           match Record.latest_visible record ~visible:(visible t) with
@@ -174,6 +202,10 @@ let read_batch t ~table ~rids =
         remote replies);
   List.filter_map
     (fun rid ->
+      (if History.recording () then
+         let key = Keys.record ~table ~rid in
+         if not (Hashtbl.mem t.writes key) then
+           note_observed t ~key (Option.join (Hashtbl.find_opt t.cache key)));
       match resolve_local rid with
       | `Known (Some tuple) -> Some (rid, tuple)
       | `Known None -> None
@@ -202,11 +234,13 @@ let pending_rows t ~table =
    [Put_if]. *)
 let assert_no_invisible_version t record ~table ~rid =
   if
-    List.exists
-      (fun v -> (not (visible t v)) || v > t.tid)
-      (Record.version_numbers record)
+    (not !weaken_conflict_detection)
+    && List.exists
+         (fun v -> (not (visible t v)) || v > t.tid)
+         (Record.version_numbers record)
   then begin
     t.status <- Aborted;
+    History.note_abort ~tid:t.tid;
     Pn.release_tid t.pn t.tid;
     Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
     raise (Conflict (Printf.sprintf "%s/%d has a newer version" table rid))
@@ -222,6 +256,8 @@ let index_entries_for t ~table tuple =
 
 let record_write t ~table ~rid ~payload ~base ~index_adds =
   let key = Keys.record ~table ~rid in
+  History.note_write ~tid:t.tid ~key ~version:t.tid
+    ~tombstone:(match payload with Record.Tombstone -> true | Record.Tuple _ -> false);
   match Hashtbl.find_opt t.writes key with
   | Some w ->
       w.w_payload <- payload;
@@ -246,10 +282,13 @@ let update t ~table ~rid tuple =
           (fun e -> not (List.mem e w.w_index_adds))
           (index_entries_for t ~table tuple)
       in
+      History.note_write ~tid:t.tid ~key ~version:t.tid ~tombstone:false;
       w.w_payload <- Record.Tuple tuple;
       w.w_index_adds <- index_adds @ w.w_index_adds
   | None -> (
-      match fetch t ~table ~rid with
+      let state = fetch t ~table ~rid in
+      note_observed t ~key state;
+      match state with
       | None -> raise (Schema.Schema_error (Printf.sprintf "update of absent record %s/%d" table rid))
       | Some ({ record; _ } as base) ->
           assert_no_invisible_version t record ~table ~rid;
@@ -283,9 +322,13 @@ let delete t ~table ~rid =
   Pn.charge t.pn (Pn.cost t.pn).cpu_per_write_ns;
   let key = Keys.record ~table ~rid in
   match Hashtbl.find_opt t.writes key with
-  | Some w -> w.w_payload <- Record.Tombstone
+  | Some w ->
+      History.note_write ~tid:t.tid ~key ~version:t.tid ~tombstone:true;
+      w.w_payload <- Record.Tombstone
   | None -> (
-      match fetch t ~table ~rid with
+      let state = fetch t ~table ~rid in
+      note_observed t ~key state;
+      match state with
       | None -> ()
       | Some ({ record; _ } as base) ->
           assert_no_invisible_version t record ~table ~rid;
@@ -321,6 +364,7 @@ let gc_index_entry t ~index ~key ~rid =
 
 let finish_abort t reason =
   t.status <- Aborted;
+  History.note_abort ~tid:t.tid;
   Pn.release_tid t.pn t.tid;
   Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
   raise (Conflict reason)
@@ -349,6 +393,32 @@ let apply_writes t writes =
       outcomes
   in
   match conflicted with
+  | _ :: _ when !weaken_conflict_detection ->
+      (* Mutation mode: a broken conflict detector would blindly merge the
+         losing version over whatever won the race instead of aborting.
+         The buffer pool is deliberately not told — this path only exists
+         to hand the histcheck battery a real lost update. *)
+      List.iter
+        (fun (key, w, _, result) ->
+          match result with
+          | Kv.Op.Conflict ->
+              let rec force () =
+                let merged =
+                  match Kv.Client.get (Pn.kv t.pn) key with
+                  | None -> (None, Record.add_version Record.empty ~version:t.tid w.w_payload)
+                  | Some (data, token) ->
+                      (Some token, Record.add_version (Record.decode data) ~version:t.tid w.w_payload)
+                in
+                match
+                  Kv.Client.put_if (Pn.kv t.pn) key (fst merged) (Record.encode (snd merged))
+                with
+                | `Ok _ -> ()
+                | `Conflict -> force ()
+              in
+              force ()
+          | _ -> ())
+        outcomes;
+      `Applied
   | [] ->
       List.iter
         (fun (_, w, record, result) ->
@@ -442,6 +512,7 @@ let commit_applied t ~entry ~writes ~now ~t_apply =
            partition-delayed flush turn an acknowledged commit into a
            rolled-back one. *)
         t.status <- Committed;
+        History.note_commit ~tid:t.tid;
         let pn = t.pn and tid = t.tid in
         fire_commit_probe t ~write_set:entry.Txlog.write_set;
         Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~entry
@@ -458,6 +529,7 @@ let commit t =
   match writes with
   | [] ->
       t.status <- Committed;
+      History.note_commit ~tid:t.tid;
       Pn.release_tid t.pn t.tid;
       fire_commit_probe t ~write_set:[];
       Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:true ()
@@ -492,6 +564,7 @@ let commit t =
              transaction applied — a rollback from here would bounce off
              the same fence.  Stop being a member and surface the error. *)
           t.status <- Aborted;
+          History.note_abort ~tid:t.tid;
           Pn.release_tid t.pn t.tid;
           Pn.poison t.pn;
           raise e
@@ -512,6 +585,7 @@ let commit t =
              (* Fenced mid-sweep: recovery owns the rest of it. *)
              Pn.poison t.pn);
           t.status <- Aborted;
+          History.note_abort ~tid:t.tid;
           Pn.release_tid t.pn t.tid;
           if Pn.alive t.pn then
             Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ();
@@ -520,5 +594,6 @@ let commit t =
 let abort t =
   check_running t;
   t.status <- Aborted;
+  History.note_abort ~tid:t.tid;
   Pn.release_tid t.pn t.tid;
   Notifier.enqueue (Pn.notifier t.pn) ~cm:t.cm ~tid:t.tid ~committed:false ()

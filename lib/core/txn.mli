@@ -108,3 +108,12 @@ val abort : t -> unit
 (** Manual abort: nothing was applied, only the commit manager is told. *)
 
 val write_set_size : t -> int
+
+val unsafe_set_weaken_conflict_detection : bool -> unit
+(** Test-only mutation knob for the histcheck battery (DESIGN.md §7):
+    when on, the begin-time invisible-version check is skipped and a
+    failed commit-time store-conditional is "resolved" by merging the
+    losing version over the winner instead of aborting — i.e. conflict
+    detection is deliberately broken so lost updates commit.  The SI
+    anomaly checker must reject the resulting histories.  Global state;
+    never enable outside tests, and always reset in a [Fun.protect]. *)

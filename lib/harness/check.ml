@@ -105,6 +105,9 @@ type outcome = {
   o_violations : string list;
   o_counters : (string * int) list;
       (** deterministic run fingerprint, compared by --deterministic-audit *)
+  o_history : History.event list;
+      (** the recorded transaction history the SI anomaly checker ran
+          over — dumped by [tell_check --history-dump] *)
 }
 
 (* --- deployment constants -------------------------------------------------------- *)
@@ -129,7 +132,10 @@ type probe = {
 
 (* --- one run --------------------------------------------------------------------- *)
 
-let run_one ~seed ~scenario ?(perturb = true) () =
+(* [weaken] turns on the test-only broken-conflict-detection knob
+   (mutation battery, DESIGN.md §7): the run then commits lost updates on
+   purpose and the history checker — invariant 9 — must say so. *)
+let run_one ~seed ~scenario ?(perturb = true) ?(weaken = false) () =
   let engine = Sim.Engine.create () in
   if perturb then
     Sim.Engine.set_tie_break engine (Some (Sim.Rng.make ((seed * 48271) + 7)));
@@ -148,6 +154,10 @@ let run_one ~seed ~scenario ?(perturb = true) () =
   let pns = List.init n_pns (fun _ -> Database.add_pn db ()) in
   let _ = Tpcc.Loader.load cluster ~scale ~seed:(seed + 1) in
   let tell = Tpcc.Tell_engine.create db ~pns ~scale in
+  (* Record the transaction history of everything after the bulk load
+     (loaded rows are version 0, which the checker treats as initial). *)
+  History.start ();
+  Txn.unsafe_set_weaken_conflict_detection weaken;
 
   let committed = ref 0 in
   let aborted = ref 0 in
@@ -608,10 +618,21 @@ let run_one ~seed ~scenario ?(perturb = true) () =
         ];
       audit_done := true);
 
+  let history = ref [] in
   Fun.protect
-    ~finally:(fun () -> Txn.set_commit_probe None)
+    ~finally:(fun () ->
+      Txn.set_commit_probe None;
+      Txn.unsafe_set_weaken_conflict_detection false;
+      history := History.stop ())
     (fun () -> Sim.Engine.run engine ~until:t_end ());
   if not !audit_done then note "audit did not complete before the virtual horizon";
+
+  (* 9. SI anomaly audit: rebuild the direct serialization graph from the
+     recorded history and classify its cycles (Adya taxonomy; DESIGN.md
+     §7).  Catches whole families the hand-written invariants cannot see
+     — dependency cycles, lost updates, stale or non-snapshot reads. *)
+  List.iter (fun v -> note "histcheck: %s" v) (Tell_histcheck.Checker.check !history);
+
   {
     o_seed = seed;
     o_scenario = scenario;
@@ -619,6 +640,7 @@ let run_one ~seed ~scenario ?(perturb = true) () =
     o_aborted = !aborted;
     o_violations = List.rev !violations;
     o_counters = !counters;
+    o_history = !history;
   }
 
 (* --- determinism audit ----------------------------------------------------------- *)

@@ -1,0 +1,262 @@
+module History = Tell_core.History
+module Version_set = Tell_core.Version_set
+
+type cls =
+  | G0
+  | G1a
+  | G1b
+  | G1c
+  | G_SI
+  | Lost_update
+  | Future_read
+  | Stale_read
+  | Unwritten_read
+
+type anomaly = { a_class : cls; a_cycle : Dsg.edge list; a_msg : string }
+
+type report = { r_txns : int; r_committed : int; r_anomalies : anomaly list }
+
+type decision = Undecided | Dcommit | Dabort
+
+type txn = {
+  x_tid : int;
+  mutable x_snapshot : Version_set.t option;
+  mutable x_reads : (string * int * bool) list;  (* key, version, intermediate *)
+  mutable x_writes : (string * (int * bool)) list;  (* key -> version, tombstone *)
+  mutable x_decision : decision;
+}
+
+(* A transaction that was never decided is indistinguishable from an
+   aborted one: its tid enters no snapshot, so nothing it applied is
+   visible and the reclamation sweep will roll it back.  [Rolled_back]
+   overrides an earlier [Commit] — the ghost-commit case. *)
+let digest events =
+  let txns = Hashtbl.create 64 in
+  let order = ref [] in
+  let get tid =
+    match Hashtbl.find_opt txns tid with
+    | Some x -> x
+    | None ->
+        let x =
+          { x_tid = tid; x_snapshot = None; x_reads = []; x_writes = []; x_decision = Undecided }
+        in
+        Hashtbl.replace txns tid x;
+        order := tid :: !order;
+        x
+  in
+  List.iter
+    (function
+      | History.Begin { tid; snapshot; _ } -> (get tid).x_snapshot <- Some snapshot
+      | History.Read { tid; key; version; intermediate } ->
+          let x = get tid in
+          x.x_reads <- (key, version, intermediate) :: x.x_reads
+      | History.Write { tid; key; version; tombstone } ->
+          let x = get tid in
+          x.x_writes <- (key, (version, tombstone)) :: List.remove_assoc key x.x_writes
+      | History.Commit { tid } ->
+          let x = get tid in
+          if x.x_decision = Undecided then x.x_decision <- Dcommit
+      | History.Abort { tid } ->
+          let x = get tid in
+          if x.x_decision = Undecided then x.x_decision <- Dabort
+      | History.Rolled_back { tid } -> (get tid).x_decision <- Dabort
+      | History.Node_event _ -> ())
+    events;
+  (txns, List.rev !order)
+
+let analyze events =
+  let txns, order = digest events in
+  let anomalies = ref [] in
+  let add cls ?(cycle = []) msg =
+    anomalies := { a_class = cls; a_cycle = cycle; a_msg = msg } :: !anomalies
+  in
+  let committed x = x.x_decision = Dcommit in
+  (* Who wrote (key, version), any decision — for aborted-read checks. *)
+  let writer_of = Hashtbl.create 256 in
+  List.iter
+    (fun tid ->
+      let x = Hashtbl.find txns tid in
+      List.iter (fun (key, (v, _)) -> Hashtbl.replace writer_of (key, v) tid) x.x_writes)
+    order;
+  (* Per-key version order over committed writes, ascending, with the
+     initial version 0 (bulk load / absent record) prepended.  Version
+     numbers are tids and [Record.latest_visible] picks the highest
+     visible one, so sorting by version {e is} the install order the
+     system exposes to readers. *)
+  let raw_chains = Hashtbl.create 64 in
+  List.iter
+    (fun tid ->
+      let x = Hashtbl.find txns tid in
+      if committed x then
+        List.iter
+          (fun (key, (v, tomb)) ->
+            Hashtbl.replace raw_chains key
+              ((v, Some tid, tomb) :: Option.value ~default:[] (Hashtbl.find_opt raw_chains key)))
+          x.x_writes)
+    order;
+  let chains = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun key vs -> Hashtbl.replace chains key ((0, None, false) :: List.sort compare vs))
+    raw_chains;
+  let chain key = Option.value ~default:[ (0, None, false) ] (Hashtbl.find_opt chains key) in
+  (* --- read-level checks ---------------------------------------------------------- *)
+  List.iter
+    (fun tid ->
+      let x = Hashtbl.find txns tid in
+      List.iter
+        (fun (key, v, intermediate) ->
+          (if v > 0 then
+             match Hashtbl.find_opt writer_of (key, v) with
+             | None ->
+                 add Unwritten_read
+                   (Printf.sprintf "T%d read %s@%d, which no recorded transaction wrote" tid key v)
+             | Some w ->
+                 let wx = Hashtbl.find txns w in
+                 if committed x && not (committed wx) then
+                   add G1a
+                     (Printf.sprintf "committed T%d read %s@%d installed by %s T%d" tid key v
+                        (match wx.x_decision with Dabort -> "aborted" | _ -> "undecided")
+                        w)
+                 else if intermediate && committed x && committed wx then
+                   add G1b
+                     (Printf.sprintf "committed T%d read intermediate write %s@%d of T%d" tid key
+                        v w));
+          match x.x_snapshot with
+          | None -> ()
+          | Some vs ->
+              if v > 0 && not (Version_set.mem vs v) then
+                add Future_read (Printf.sprintf "T%d read %s@%d outside its snapshot" tid key v)
+              else
+                let visible_max =
+                  List.fold_left
+                    (fun acc (v', _, tomb) ->
+                      if v' > 0 && Version_set.mem vs v' then Some (v', tomb) else acc)
+                    None (chain key)
+                in
+                (match visible_max with
+                | Some (vmax, tomb) when v < vmax && not (v = 0 && tomb) ->
+                    add Stale_read
+                      (Printf.sprintf "T%d read %s@%d but its snapshot admits version %d" tid key
+                         v vmax)
+                | _ -> ()))
+        (List.sort_uniq compare x.x_reads))
+    order;
+  (* --- direct serialization graph over committed transactions --------------------- *)
+  let g = Dsg.create () in
+  Hashtbl.iter
+    (fun key ch ->
+      let rec ww = function
+        | (_, Some w1, _) :: ((_, Some w2, _) :: _ as rest) ->
+            Dsg.add_edge g ~src:w1 ~dst:w2 ~label:Dsg.Ww ~key;
+            ww rest
+        | _ :: rest -> ww rest
+        | [] -> ()
+      in
+      ww ch)
+    chains;
+  List.iter
+    (fun tid ->
+      let x = Hashtbl.find txns tid in
+      if committed x then
+        List.iter
+          (fun (key, v) ->
+            let ch = chain key in
+            (if v > 0 then
+               match Hashtbl.find_opt writer_of (key, v) with
+               | Some w when committed (Hashtbl.find txns w) ->
+                   Dsg.add_edge g ~src:w ~dst:tid ~label:Dsg.Wr ~key
+               | Some _ | None -> ());
+            (* Anti-dependency: only when the observed version is on the
+               committed chain (version 0 always is); a read of an
+               aborted version is already G1a. *)
+            if v = 0 || List.exists (fun (v', _, _) -> v' = v) ch then
+              match List.find_opt (fun (v', _, _) -> v' > v) ch with
+              | Some (_, Some w', _) -> Dsg.add_edge g ~src:tid ~dst:w' ~label:Dsg.Rw ~key
+              | Some (_, None, _) | None -> ())
+          (List.sort_uniq compare (List.map (fun (k, v, _) -> (k, v)) x.x_reads)))
+    order;
+  (* --- cycle classification: one anomaly per SCC, most specific class,
+     minimal witness ----------------------------------------------------------------- *)
+  List.iter
+    (fun scc ->
+      match scc with
+      | [] | [ _ ] -> ()
+      | _ ->
+          let members = Hashtbl.create 8 in
+          List.iter (fun n -> Hashtbl.replace members n ()) scc;
+          let within n = Hashtbl.mem members n in
+          let scc_edges =
+            List.concat_map
+              (fun n -> List.filter (fun (e : Dsg.edge) -> within e.dst) (Dsg.out g n))
+              scc
+          in
+          let lost_update =
+            List.find_map
+              (fun (e : Dsg.edge) ->
+                if e.label = Dsg.Rw then
+                  List.find_map
+                    (fun (e' : Dsg.edge) ->
+                      if e'.label = Dsg.Ww && e'.dst = e.src && e'.key = e.key then
+                        Some [ e; e' ]
+                      else None)
+                    (Dsg.out g e.dst)
+                else None)
+              scc_edges
+          in
+          let best find =
+            List.fold_left
+              (fun acc n ->
+                match (acc, find n) with
+                | Some a, Some c when List.length a <= List.length c -> Some a
+                | _, Some c -> Some c
+                | acc, None -> acc)
+              None scc
+          in
+          (match lost_update with
+          | Some cycle ->
+              let e = List.hd cycle in
+              add Lost_update ~cycle
+                (Printf.sprintf "T%d overwrote the version of %s installed by T%d without observing it"
+                   e.Dsg.src e.Dsg.key e.Dsg.dst)
+          | None -> (
+              match
+                best (fun n ->
+                    Dsg.shortest_cycle g ~within ~allowed:(fun l -> l = Dsg.Ww) ~start:n)
+              with
+              | Some cycle -> add G0 ~cycle "write cycle"
+              | None -> (
+                  match
+                    best (fun n ->
+                        Dsg.shortest_cycle g ~within ~allowed:(fun l -> l <> Dsg.Rw) ~start:n)
+                  with
+                  | Some cycle -> add G1c ~cycle "dependency cycle"
+                  | None -> (
+                      match best (fun n -> Dsg.shortest_si_cycle g ~within ~start:n) with
+                      | Some cycle ->
+                          add G_SI ~cycle "cycle without two consecutive anti-dependencies"
+                      | None -> ())))))
+    (Dsg.sccs g);
+  {
+    r_txns = List.length order;
+    r_committed =
+      List.length (List.filter (fun tid -> committed (Hashtbl.find txns tid)) order);
+    r_anomalies = List.rev !anomalies;
+  }
+
+let cls_name = function
+  | G0 -> "G0"
+  | G1a -> "G1a"
+  | G1b -> "G1b"
+  | G1c -> "G1c"
+  | G_SI -> "G-SI"
+  | Lost_update -> "lost-update"
+  | Future_read -> "future-read"
+  | Stale_read -> "stale-read"
+  | Unwritten_read -> "unwritten-read"
+
+let describe a =
+  match a.a_cycle with
+  | [] -> Printf.sprintf "%s: %s" (cls_name a.a_class) a.a_msg
+  | cycle -> Format.asprintf "%s: %s [%a]" (cls_name a.a_class) a.a_msg Dsg.pp_cycle cycle
+
+let check events = List.map describe (analyze events).r_anomalies

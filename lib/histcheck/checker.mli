@@ -1,0 +1,69 @@
+(** Adya-style SI anomaly checker over a recorded {!Tell_core.History}
+    (Elle-lite; DESIGN.md §7).
+
+    Reconstructs per-key version orders (by version number — version
+    numbers are tids, and [Record.latest_visible] resolves visibility by
+    highest visible tid, so this is the system's real version order),
+    checks every read against its transaction's snapshot, builds the
+    direct serialization graph over committed transactions and classifies
+    its cycles.
+
+    What SI permits: cycles in which every anti-dependency ([rw]) edge is
+    immediately followed by another one — write skew.  Everything else is
+    reported:
+
+    - [G0]: cycle of [ww] edges only (write cycle).
+    - [G1a]: a committed transaction observed a version installed by an
+      aborted (or rolled-back, or never-decided) transaction.
+    - [G1b]: a committed transaction observed an intermediate (non-final)
+      write — representable only in hand-built histories, the recorder
+      applies final buffered payloads.
+    - [G1c]: cycle of [ww]/[wr] edges (dependency cycle).
+    - [G_SI]: cycle with no two cyclically-adjacent [rw] edges that is
+      not one of the above.
+    - [Lost_update]: the 2-cycle \{[rw](k), [ww](k)\} on a single key.
+    - [Future_read]: a read observed a version outside its snapshot
+      (impossible through [Record.latest_visible] — flags recorder or
+      engine corruption).
+    - [Stale_read]: a read observed less than the maximal
+      snapshot-visible committed version of the key.  Exemption: a
+      tombstone that became the sole surviving version is
+      garbage-collected with its whole record, so observing version 0
+      under a snapshot whose newest visible version is a tombstone is
+      legal.
+    - [Unwritten_read]: a read observed a version > 0 that no recorded
+      transaction wrote (recorder coverage bug, or history truncation). *)
+
+type cls =
+  | G0
+  | G1a
+  | G1b
+  | G1c
+  | G_SI
+  | Lost_update
+  | Future_read
+  | Stale_read
+  | Unwritten_read
+
+type anomaly = {
+  a_class : cls;
+  a_cycle : Dsg.edge list;  (** witness cycle; [[]] for read-level anomalies *)
+  a_msg : string;  (** human-readable details: tids, key, versions *)
+}
+
+type report = {
+  r_txns : int;  (** transactions seen in the history *)
+  r_committed : int;  (** finally committed (ghosts excluded) *)
+  r_anomalies : anomaly list;
+}
+
+val analyze : Tell_core.History.event list -> report
+(** At most one cycle anomaly per strongly connected component, the most
+    specific class with a minimal witness; read-level anomalies are
+    reported per offending read (deduplicated). *)
+
+val cls_name : cls -> string
+val describe : anomaly -> string
+
+val check : Tell_core.History.event list -> string list
+(** [describe] of every anomaly — [[]] means the history is SI. *)

@@ -71,6 +71,12 @@ val fence : t -> sender:string -> epoch:int -> unit
 val fenced_rejects : t -> int
 (** How many writes this node bounced with [Fenced_reply]. *)
 
+val replay_cap : int
+(** FIFO bound on the per-node replay cache: entries beyond the cap evict
+    the oldest.  The bound is what keeps a node's memory finite; it is
+    safe because a client's retry window spans far fewer than
+    [replay_cap] other conditional ops on one node. *)
+
 val find_replay : t -> client:int -> op_id:int -> Op.result option
 (** Cached first result of a conditional mutation previously executed
     under [(client, op_id)] — exactly-once semantics over an

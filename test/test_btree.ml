@@ -264,6 +264,69 @@ let test_batched_matches_sequential () =
         "batched tree = model" (Entry_set.elements !model)
         (Btree.range bat ~lo:"m" ~hi:"n"))
 
+(* Property: random batched maintenance against a sorted-assoc model,
+   under seeded schedule shuffles.  The key pool is tiny (8 keys) while
+   rids span 0..500, so runs of duplicates cross leaf boundaries and
+   every descent must compare separators as full (key, rid) entries —
+   comparing by key alone would lose or duplicate entries inside a run
+   (CLAUDE.md "things that bite"). *)
+let test_property_batched_separators () =
+  let shuffle rng l =
+    let a = Array.of_list l in
+    for i = Array.length a - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    Array.to_list a
+  in
+  List.iter
+    (fun seed ->
+      with_cluster (fun _engine cluster ->
+          let kv = client cluster in
+          let name = Printf.sprintf "prop%d" seed in
+          Btree.create kv ~name;
+          let tree = Btree.attach kv ~name in
+          let rng = Random.State.make [| seed |] in
+          (* The model is a sorted assoc of (key, rid) without duplicates —
+             exactly the tree's advertised contents. *)
+          let model = ref [] in
+          let add e l = if List.mem e l then l else List.sort compare (e :: l) in
+          let keys = [| "dA"; "dB"; "dC"; "dD"; "dE"; "dF"; "dG"; "dH" |] in
+          let gen_entry () =
+            (keys.(Random.State.int rng (Array.length keys)), Random.State.int rng 500)
+          in
+          for _round = 1 to 20 do
+            let batch =
+              List.sort_uniq compare (List.init (10 + Random.State.int rng 40) (fun _ -> gen_entry ()))
+            in
+            (* The shuffle is the property under test: batched maintenance
+               must not depend on the submission order of a batch. *)
+            let batch = shuffle rng batch in
+            if Random.State.int rng 10 < 7 then begin
+              Btree.insert_many tree ~entries:batch;
+              List.iter (fun e -> model := add e !model) batch
+            end
+            else begin
+              Btree.remove_many tree ~entries:batch;
+              List.iter (fun e -> model := List.filter (( <> ) e) !model) batch
+            end;
+            (* A point lookup through the duplicate run each round: a
+               key-only separator comparison would misroute exactly here. *)
+            let k = keys.(Random.State.int rng (Array.length keys)) in
+            Alcotest.(check (list int))
+              (Printf.sprintf "seed %d lookup %s" seed k)
+              (List.filter_map (fun (k', r) -> if k' = k then Some r else None) !model)
+              (Btree.lookup tree ~key:k)
+          done;
+          Btree.check_invariants tree;
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "seed %d tree = sorted-assoc model" seed)
+            !model
+            (Btree.range tree ~lo:"" ~hi:"\xff")))
+    [ 7; 21; 42 ]
+
 let test_duplicate_keys () =
   with_cluster (fun _engine cluster ->
       let kv = client cluster in
@@ -293,5 +356,7 @@ let () =
           Alcotest.test_case "lookup_many batched" `Quick test_lookup_many;
           Alcotest.test_case "batched maintenance = sequential" `Quick
             test_batched_matches_sequential;
+          Alcotest.test_case "property: shuffled batches vs sorted-assoc model" `Quick
+            test_property_batched_separators;
         ] );
     ]

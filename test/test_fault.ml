@@ -79,6 +79,86 @@ let test_scenarios () =
   run_scenario 103 Check.Cm_failover;
   run_scenario 104 Check.Chaos
 
+(* --- regression pin: the tid-order lost update (DESIGN.md §6, bug 5) -------------- *)
+
+(* Tids come from per-manager ranges, so a transaction served by one
+   manager can hold a tid {e below} a version a faster transaction
+   (served by the other manager's range) already committed to the same
+   record.  Its update would sort under that version and be shadowed for
+   every future reader — a silent lost update, found by the harness and
+   fixed by the tid-order discipline in [Txn.assert_no_invisible_version].
+   This pin reconstructs the race deterministically with two PNs routed
+   to two commit managers, and asserts both halves of the discipline:
+   (a) the version is invisible to a concurrent low-tid writer, and
+   (b) it is visible-but-higher for a low-tid writer that begins after
+   the commit.  Either way the writer must abort, never shadow. *)
+let test_tid_order_lost_update_pin () =
+  let engine = Sim.Engine.create () in
+  let result = ref false in
+  Sim.Engine.spawn engine (fun () ->
+      let kv_config =
+        { Kv.Cluster.default_config with n_storage_nodes = 3; replication_factor = 1 }
+      in
+      let db = Database.create engine ~kv_config ~n_commit_managers:2 () in
+      let pn0 = Database.add_pn db () in
+      let pn1 = Database.add_pn db () in
+      ignore (Database.exec pn0 "CREATE TABLE t (id INT, v INT, PRIMARY KEY (id))");
+      ignore (Database.exec pn0 "INSERT INTO t VALUES (1, 100)");
+      let rid =
+        Database.with_txn pn0 (fun txn ->
+            match
+              Txn.index_lookup txn ~index:"pk_t" ~key:(Codec.encode_key [ Value.Int 1 ])
+            with
+            | [ rid ] -> rid
+            | _ -> Alcotest.fail "pk lookup")
+      in
+      (* Let the managers sync so pn1's snapshots admit the setup commits
+         (they were decided by pn0's manager). *)
+      Notifier.drain (Pn.notifier pn0);
+      Sim.Engine.sleep engine 1_500_000;
+      (* t_low claims a tid from cm0's low range before the racing writer
+         even begins; t_high, on the other PN, is served from cm1's range. *)
+      let t_low = Txn.begin_txn pn0 in
+      let t_high = Txn.begin_txn pn1 in
+      Alcotest.(check bool) "ranges invert tid order" true
+        (Txn.tid t_high > Txn.tid t_low + 32);
+      Txn.update t_high ~table:"t" ~rid [| Value.Int 1; Value.Int 200 |];
+      Txn.commit t_high;
+      (* (a) The concurrent low-tid writer: version 200's tid is invisible
+         to its snapshot, so the update must conflict. *)
+      (match Txn.update t_low ~table:"t" ~rid [| Value.Int 1; Value.Int 111 |] with
+      | () -> (
+          try
+            Txn.commit t_low;
+            Alcotest.fail "concurrent low-tid writer must not commit"
+          with Txn.Conflict _ -> ())
+      | exception Txn.Conflict _ -> ());
+      (* Let the commit notification land and the managers sync, so a
+         fresh transaction's snapshot admits the winner's version.  Keep
+         the sleeps short: after [retire_after_ns] of inactivity cm0
+         would retire its low range and variant (b) would vanish. *)
+      Notifier.drain (Pn.notifier pn1);
+      Sim.Engine.sleep engine 1_500_000;
+      (* (b) A fresh writer on pn0 still holds a lower tid than the
+         committed version: visible, but committing would shadow it. *)
+      let t_low2 = Txn.begin_txn pn0 in
+      Alcotest.(check bool) "fresh tid still below the winner" true
+        (Txn.tid t_low2 < Txn.tid t_high);
+      (match Txn.update t_low2 ~table:"t" ~rid [| Value.Int 1; Value.Int 112 |] with
+      | () -> (
+          try
+            Txn.commit t_low2;
+            Alcotest.fail "shadowed low-tid writer must not commit"
+          with Txn.Conflict _ -> ())
+      | exception Txn.Conflict _ -> ());
+      (match Database.exec pn0 "SELECT v FROM t WHERE id = 1" with
+      | Sql_plan.Rows { rows = [ [| Value.Int v |] ]; _ } ->
+          Alcotest.(check int) "winner's write survives" 200 v
+      | _ -> Alcotest.fail "read failed");
+      result := true);
+  Sim.Engine.run engine ~until:60_000_000_000 ();
+  Alcotest.(check bool) "finished" true !result
+
 (* --- seed determinism ------------------------------------------------------------ *)
 
 let test_determinism_audit () =
@@ -133,6 +213,8 @@ let () =
           Alcotest.test_case "sn crash + repair under TPC-C load" `Quick
             test_sn_crash_under_load;
           Alcotest.test_case "harness scenario matrix" `Slow test_scenarios;
+          Alcotest.test_case "pin: tid-order lost update aborts (bug 5)" `Quick
+            test_tid_order_lost_update_pin;
           Alcotest.test_case "determinism audit" `Slow test_determinism_audit;
           Alcotest.test_case "tie-break perturbation" `Slow test_tie_break_perturbation;
           Alcotest.test_case "net fault window" `Quick test_net_fault_window;

@@ -1,0 +1,211 @@
+(* The Adya-style SI anomaly checker (lib/histcheck, DESIGN.md §7) on
+   hand-built histories: one accepting and one rejecting case per anomaly
+   class, witness minimality, version-0 bulk-load visibility, the
+   tombstone-GC exemption, ghost-commit override, and the dump codec.
+
+   Version numbers in hand-built histories need not equal tids — the
+   checker orders versions by number, which is how G0 (a pure write
+   cycle) becomes representable even though the engine's tid-ordered
+   installs can never produce one. *)
+
+module H = Tell_core.History
+module V = Tell_core.Version_set
+module C = Tell_histcheck.Checker
+module D = Tell_histcheck.Dsg
+
+let vs ?(above = []) base = List.fold_left V.add (V.of_base base) above
+let b ?(above = []) tid base = H.Begin { tid; pn_id = 0; snapshot = vs ~above base }
+let r tid key version = H.Read { tid; key; version; intermediate = false }
+let ri tid key version = H.Read { tid; key; version; intermediate = true }
+let w ?version ?(tombstone = false) tid key =
+  H.Write { tid; key; version = Option.value ~default:tid version; tombstone }
+let c tid = H.Commit { tid }
+let a tid = H.Abort { tid }
+let x tid = H.Rolled_back { tid }
+
+let classes h =
+  List.sort_uniq compare
+    (List.map (fun (an : C.anomaly) -> C.cls_name an.C.a_class) (C.analyze h).C.r_anomalies)
+
+let check_classes name expected h =
+  Alcotest.(check (list string)) name (List.sort_uniq compare expected) (classes h)
+
+(* --- per-class accept / reject --------------------------------------------------- *)
+
+let test_clean_serial () =
+  check_classes "serial history accepted" []
+    [ b 1 0; r 1 "k" 0; w 1 "k"; c 1; b 2 1; r 2 "k" 1; w 2 "k"; c 2 ]
+
+let test_g1a () =
+  check_classes "committed read of aborted write" [ "G1a" ]
+    [ b 1 0; w 1 "k"; a 1; b 2 1; r 2 "k" 1; c 2 ];
+  check_classes "aborted reader of aborted write accepted" []
+    [ b 1 0; w 1 "k"; a 1; b 2 1; r 2 "k" 1; a 2 ];
+  (* A never-decided transaction counts as aborted. *)
+  check_classes "committed read of undecided write" [ "G1a" ]
+    [ b 1 0; w 1 "k"; b 2 1; r 2 "k" 1; c 2 ]
+
+let test_g1b () =
+  check_classes "intermediate read" [ "G1b" ]
+    [ b 1 0; w 1 "k"; c 1; b 2 1; ri 2 "k" 1; c 2 ];
+  check_classes "final read accepted" []
+    [ b 1 0; w 1 "k"; c 1; b 2 1; r 2 "k" 1; c 2 ]
+
+let test_g1c () =
+  (* T1 observes T2's write of y yet installs the earlier version of x:
+     ww(x) T1->T2 plus wr(y) T2->T1. *)
+  check_classes "ww/wr dependency cycle" [ "G1c" ]
+    [ b 2 0; w 2 "x"; w 2 "y"; c 2; b 1 2; r 1 "y" 2; w 1 "x"; c 1 ];
+  check_classes "same shape without the cycle accepted" []
+    [ b 2 0; w 2 "x"; w 2 "y"; c 2; b 1 0; r 1 "y" 0; c 1 ]
+
+let test_g0 () =
+  (* Opposed version orders on two keys, no reads at all. *)
+  check_classes "write cycle" [ "G0" ]
+    [ b 1 0; w ~version:1 1 "x"; w ~version:4 1 "y"; c 1;
+      b 2 0; w ~version:2 2 "x"; w ~version:3 2 "y"; c 2 ];
+  check_classes "aligned version orders accepted" []
+    [ b 1 0; w ~version:1 1 "x"; w ~version:3 1 "y"; c 1;
+      b 2 0; w ~version:2 2 "x"; w ~version:4 2 "y"; c 2 ]
+
+let test_g_si () =
+  (* T1 -ww(x)-> T2 -wr(y)-> T3 -rw(z)-> T1: one anti-dependency only, so
+     SI must have prevented it. *)
+  check_classes "single-rw cycle rejected" [ "G-SI" ]
+    [ b 1 0; w ~version:1 1 "x"; w ~version:1 1 "z"; c 1;
+      b 2 1; w ~version:2 2 "x"; w ~version:2 2 "y"; c 2;
+      b 3 ~above:[ 2 ] 0; r 3 "y" 2; r 3 "z" 0; c 3 ]
+
+let test_write_skew_accepted () =
+  (* Two adjacent anti-dependencies: the one cycle shape SI admits. *)
+  check_classes "write skew accepted" []
+    [ b 1 0; r 1 "y" 0; w 1 "x"; c 1; b 2 0; r 2 "x" 0; w 2 "y"; c 2 ]
+
+let test_lost_update () =
+  check_classes "both concurrent writers committed" [ "lost-update" ]
+    [ b 1 0; r 1 "k" 0; w 1 "k"; c 1; b 2 0; r 2 "k" 0; w 2 "k"; c 2 ];
+  check_classes "first-committer-wins accepted" []
+    [ b 1 0; r 1 "k" 0; w 1 "k"; c 1; b 2 0; r 2 "k" 0; w 2 "k"; a 2 ]
+
+let test_future_read () =
+  check_classes "read outside the snapshot" [ "future-read" ]
+    [ b 2 0; w 2 "k"; c 2; b 1 0; r 1 "k" 2; c 1 ];
+  check_classes "read inside the snapshot accepted" []
+    [ b 2 0; w 2 "k"; c 2; b 1 2; r 1 "k" 2; c 1 ]
+
+let test_stale_read () =
+  check_classes "snapshot admits a newer version" [ "stale-read" ]
+    [ b 2 0; w 2 "k"; c 2; b 1 2; r 1 "k" 0; c 1 ];
+  (* Tombstone-GC exemption: a sole surviving tombstone is collected with
+     its record, so version 0 is a legal observation again. *)
+  check_classes "tombstone-GC read of version 0 accepted" []
+    [ b 2 0; w ~tombstone:true 2 "k"; c 2; b 1 2; r 1 "k" 0; c 1 ]
+
+let test_unwritten_read () =
+  check_classes "version nobody wrote" [ "unwritten-read" ] [ b 1 1; r 1 "k" 1; c 1 ]
+
+let test_version0_bulk_load () =
+  (* Version 0 (bulk load / absent record) is visible to every snapshot,
+     however far the base has advanced. *)
+  check_classes "version 0 visible under any snapshot" []
+    [ b 1 500; r 1 "k" 0; r 1 "fresh" 0; c 1 ]
+
+let test_ghost_rollback () =
+  (* Rolled_back overrides Commit: the ghost's write never happened... *)
+  check_classes "ghost commit neutralised" []
+    [ b 2 0; w 2 "k"; c 2; x 2; b 1 3; r 1 "k" 0; c 1 ];
+  (* ...and observing it anyway is an aborted read. *)
+  check_classes "read of a ghost's version" [ "G1a" ]
+    [ b 2 0; w 2 "k"; c 2; x 2; b 1 ~above:[ 2 ] 0; r 1 "k" 2; c 1 ]
+
+(* --- witness minimality ----------------------------------------------------------- *)
+
+let cycle_of cls h =
+  match
+    List.find_opt (fun (an : C.anomaly) -> an.C.a_class = cls) (C.analyze h).C.r_anomalies
+  with
+  | Some an -> an.C.a_cycle
+  | None -> Alcotest.failf "expected a %s anomaly" (C.cls_name cls)
+
+let test_witness_minimality () =
+  (* The lost-update pair embedded in a larger component must still be
+     witnessed by its 2-cycle, not by some longer walk through T3. *)
+  let h =
+    [ b 1 0; r 1 "k" 0; w 1 "k"; w ~version:1 1 "z"; c 1;
+      b 2 0; r 2 "k" 0; w 2 "k"; c 2;
+      b 3 ~above:[ 2 ] 0; r 3 "z" 1; r 3 "k" 2; c 3 ]
+  in
+  let cyc = cycle_of C.Lost_update h in
+  Alcotest.(check int) "lost-update witness is the 2-cycle" 2 (List.length cyc);
+  List.iter (fun (e : D.edge) -> Alcotest.(check string) "on one key" "k" e.D.key) cyc;
+  let g1c =
+    cycle_of C.G1c [ b 2 0; w 2 "x"; w 2 "y"; c 2; b 1 2; r 1 "y" 2; w 1 "x"; c 1 ]
+  in
+  Alcotest.(check int) "G1c witness is the 2-cycle" 2 (List.length g1c)
+
+(* --- deduplication / reporting ----------------------------------------------------- *)
+
+let test_one_anomaly_per_scc () =
+  (* Re-reading the same key many times must not multiply the report. *)
+  let h =
+    [ b 1 0; r 1 "k" 0; r 1 "k" 0; w 1 "k"; c 1;
+      b 2 0; r 2 "k" 0; r 2 "k" 0; w 2 "k"; c 2 ]
+  in
+  let anomalies = (C.analyze h).C.r_anomalies in
+  Alcotest.(check int) "single lost-update report" 1 (List.length anomalies)
+
+let test_report_counts () =
+  let rep = C.analyze [ b 1 0; r 1 "k" 0; c 1; b 2 1; w 2 "k"; a 2; b 3 1 ] in
+  Alcotest.(check int) "txns" 3 rep.C.r_txns;
+  Alcotest.(check int) "committed" 1 rep.C.r_committed
+
+(* --- dump codec -------------------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let events =
+    [ b 7 ~above:[ 9; 12 ] 3;
+      r 7 "r/warehouse/000000000001" 9;
+      ri 7 "key with spaces" 0;
+      w 7 "r/stock/000000000042";
+      w ~tombstone:true 7 "r/new_order/000000000005";
+      c 7; a 8; x 9;
+      H.Node_event { pn_id = 1; what = "crash" } ]
+  in
+  List.iter
+    (fun e ->
+      match H.decode_line (H.encode_line e) with
+      | Some e' -> Alcotest.(check bool) (H.encode_line e) true (e = e')
+      | None -> Alcotest.failf "decode dropped %s" (H.encode_line e))
+    events;
+  Alcotest.(check bool) "blank skipped" true (H.decode_line "   " = None);
+  Alcotest.(check bool) "comment skipped" true (H.decode_line "# hi" = None);
+  Alcotest.(check bool) "garbage raises" true
+    (match H.decode_line "Q 1 2 3" with exception Failure _ -> true | _ -> false)
+
+let () =
+  Alcotest.run "histcheck"
+    [
+      ( "anomaly classes",
+        [
+          Alcotest.test_case "clean serial history" `Quick test_clean_serial;
+          Alcotest.test_case "G0 write cycle" `Quick test_g0;
+          Alcotest.test_case "G1a aborted read" `Quick test_g1a;
+          Alcotest.test_case "G1b intermediate read" `Quick test_g1b;
+          Alcotest.test_case "G1c dependency cycle" `Quick test_g1c;
+          Alcotest.test_case "G-SI single-rw cycle" `Quick test_g_si;
+          Alcotest.test_case "write skew admitted by SI" `Quick test_write_skew_accepted;
+          Alcotest.test_case "lost update" `Quick test_lost_update;
+          Alcotest.test_case "future read" `Quick test_future_read;
+          Alcotest.test_case "stale read + tombstone GC" `Quick test_stale_read;
+          Alcotest.test_case "unwritten read" `Quick test_unwritten_read;
+          Alcotest.test_case "version-0 bulk load" `Quick test_version0_bulk_load;
+          Alcotest.test_case "ghost rollback override" `Quick test_ghost_rollback;
+        ] );
+      ( "reporting",
+        [
+          Alcotest.test_case "witness minimality" `Quick test_witness_minimality;
+          Alcotest.test_case "one anomaly per component" `Quick test_one_anomaly_per_scc;
+          Alcotest.test_case "report counts" `Quick test_report_counts;
+          Alcotest.test_case "dump codec round-trip" `Quick test_codec_roundtrip;
+        ] );
+    ]

@@ -143,6 +143,66 @@ let test_increment_is_atomic () =
       Alcotest.(check int) "final counter value" (workers * per_worker)
         (Kv.Client.increment client "ctr" 0))
 
+(* The replay cache is a bounded FIFO ([Storage_node.replay_cap]): filling
+   it to the bound must not evict an in-flight retry's verdict — that is
+   the exactly-once contract — while the entry past the bound evicts the
+   oldest, which is the (documented) hazard the cap is sized to keep out
+   of any real retry window. *)
+let test_replay_cache_bound () =
+  run_cluster (fun _ cluster _client ->
+      let node = Kv.Cluster.node cluster 0 in
+      (* The client-side protocol, inlined at the node level: consult the
+         cache first, apply + record on a miss. *)
+      let send ~client ~op_id op =
+        match Kv.Storage_node.find_replay node ~client ~op_id with
+        | Some r -> r
+        | None ->
+            let r = Kv.Storage_node.apply node op in
+            Kv.Storage_node.record_replay node ~client ~op_id r;
+            r
+      in
+      let op = Kv.Op.Put_if ("rk", None, "v1") in
+      (* First attempt applies; pretend its reply was lost. *)
+      let first = send ~client:1 ~op_id:0 op in
+      let token =
+        match first with
+        | Kv.Op.Token t -> t
+        | _ -> Alcotest.fail "first attempt must apply"
+      in
+      (* The retry replays the original verdict instead of conflicting
+         with its own write... *)
+      Alcotest.(check bool) "retry replays the verdict" true (send ~client:1 ~op_id:0 op = first);
+      (* ...and did not double-apply: the cell still carries the first
+         attempt's token. *)
+      Alcotest.(check (option (pair string int))) "no double apply"
+        (Some ("v1", token))
+        (Kv.Storage_node.find node "rk");
+      (* Fill the FIFO to its bound with other clients' verdicts: the
+         in-flight entry is the oldest but must survive at the cap. *)
+      for i = 1 to Kv.Storage_node.replay_cap - 1 do
+        Kv.Storage_node.record_replay node ~client:2 ~op_id:i Kv.Op.Conflict
+      done;
+      Alcotest.(check bool) "still replayed at the bound" true (send ~client:1 ~op_id:0 op = first);
+      Alcotest.(check (option (pair string int))) "still exactly once"
+        (Some ("v1", token))
+        (Kv.Storage_node.find node "rk");
+      (* One entry past the bound evicts it; the retry now re-executes
+         and self-conflicts.  This is the failure mode [replay_cap] keeps
+         outside every real retry window — pin it so a cache rewrite that
+         silently drops entries *early* fails the assertions above. *)
+      Kv.Storage_node.record_replay node ~client:2 ~op_id:Kv.Storage_node.replay_cap
+        Kv.Op.Conflict;
+      Alcotest.(check bool) "evicted past the bound" true
+        (Kv.Storage_node.find_replay node ~client:1 ~op_id:0 = None);
+      (match send ~client:1 ~op_id:0 op with
+      | Kv.Op.Conflict -> ()
+      | _ -> Alcotest.fail "post-eviction retry re-executes");
+      (* Even then the stored value is untouched — eviction can cost a
+         spurious abort, never a lost or doubled write. *)
+      Alcotest.(check (option (pair string int))) "value untouched"
+        (Some ("v1", token))
+        (Kv.Storage_node.find node "rk"))
+
 let test_scan_prefix () =
   run_cluster (fun _ _ client ->
       List.iter (fun k -> Kv.Client.put client k k)
@@ -159,6 +219,7 @@ let () =
           Alcotest.test_case "ABA detection" `Quick test_llsc_aba;
           Alcotest.test_case "conditional insert/delete" `Quick test_conditional_insert_delete;
           Alcotest.test_case "atomic increment" `Quick test_increment_is_atomic;
+          Alcotest.test_case "replay cache bound" `Quick test_replay_cache_bound;
         ] );
       ( "distribution",
         [

@@ -247,6 +247,14 @@ let test_partition_scenarios () =
   run_scenario 204 Check.Recovery_partition;
   run_scenario 205 Check.Zombie
 
+(* Regression pin (DESIGN.md §6, bug 11): seed 15 under pn-cut is the
+   schedule where a partition delayed the notifier's log flush long
+   enough for the tid-reclamation sweep to read an acknowledged commit's
+   unflagged entry as an abort and roll its versions back.  The exact
+   harness repro is `tell_check --seed 15 --scenario pn-cut`; keep this
+   seed green. *)
+let test_pn_cut_seed15_pin () = run_scenario 15 Check.Pn_cut
+
 let () =
   Alcotest.run "partition"
     [
@@ -260,5 +268,6 @@ let () =
           Alcotest.test_case "retry backoff is jittered exponential" `Quick
             test_backoff_jitter;
           Alcotest.test_case "harness partition scenarios" `Slow test_partition_scenarios;
+          Alcotest.test_case "pin: pn-cut seed 15 (bug 11)" `Slow test_pn_cut_seed15_pin;
         ] );
     ]

@@ -34,7 +34,8 @@ bench:
 	dune exec bin/tell_bench.exe -- tell --pns 4 --rf 3
 
 # Reduced benchmark run compared against the committed baseline; fails if
-# TpmC drops more than 15% or requests/new-order rises more than 10%.
+# TpmC drops more than 15%, requests/new-order rises more than 10%, or
+# the abort rate rises more than 0.5 percentage points.
 bench-smoke:
 	dune exec bin/tell_bench.exe -- tell --pns 4 --rf 3 --json BENCH_current.json
 	dune exec bin/bench_compare.exe -- BENCH_commit.json BENCH_current.json

@@ -1,10 +1,13 @@
 (* bench_compare: regression gate over tell_bench --json summaries.
 
-     bench_compare BASELINE.json CURRENT.json [--tpmc-tolerance PCT] [--rpno-tolerance PCT]
+     bench_compare BASELINE.json CURRENT.json
+       [--tpmc-tolerance PCT] [--rpno-tolerance PCT] [--abort-tolerance PP]
 
    Fails (exit 1) when the current run's TpmC drops by more than the TpmC
-   tolerance (default 15%) or its requests-per-new-order rises by more
-   than the rpno tolerance (default 10%) versus the baseline.  The files
+   tolerance (default 15%), its requests-per-new-order rises by more than
+   the rpno tolerance (default 10%), or its abort rate rises by more than
+   the abort tolerance (default 0.5 percentage points — the snapshot-
+   sharing budget of the begin coalescer) versus the baseline.  The files
    are the flat JSON summaries tell_bench writes; fields are scraped
    textually so the tool has no dependencies beyond the stdlib. *)
 
@@ -50,6 +53,7 @@ let () =
   let current_path = ref None in
   let tpmc_tolerance = ref 15.0 in
   let rpno_tolerance = ref 10.0 in
+  let abort_tolerance = ref 0.5 in
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | [] -> ()
@@ -58,6 +62,9 @@ let () =
         parse rest
     | "--rpno-tolerance" :: v :: rest ->
         rpno_tolerance := float_of_string v;
+        parse rest
+    | "--abort-tolerance" :: v :: rest ->
+        abort_tolerance := float_of_string v;
         parse rest
     | path :: rest ->
         (match (!baseline_path, !current_path) with
@@ -77,12 +84,17 @@ let () =
       let c_tpmc = require current_path current "tpmc" in
       let b_rpno = require baseline_path baseline "requests_per_new_order" in
       let c_rpno = require current_path current "requests_per_new_order" in
+      let b_abort = require baseline_path baseline "abort_rate_pct" in
+      let c_abort = require current_path current "abort_rate_pct" in
       let tpmc_drop_pct = 100.0 *. (b_tpmc -. c_tpmc) /. b_tpmc in
       let rpno_rise_pct = 100.0 *. (c_rpno -. b_rpno) /. b_rpno in
+      let abort_rise_pp = c_abort -. b_abort in
       Printf.printf "TpmC                  %10.1f -> %10.1f  (%+.1f%%, tolerance -%.0f%%)\n"
         b_tpmc c_tpmc (-.tpmc_drop_pct) !tpmc_tolerance;
       Printf.printf "requests/new-order    %10.2f -> %10.2f  (%+.1f%%, tolerance +%.0f%%)\n"
         b_rpno c_rpno rpno_rise_pct !rpno_tolerance;
+      Printf.printf "abort rate            %9.3f%% -> %9.3f%%  (%+.3f pp, tolerance +%.2f pp)\n"
+        b_abort c_abort abort_rise_pp !abort_tolerance;
       let failed = ref false in
       if tpmc_drop_pct > !tpmc_tolerance then begin
         Printf.printf "FAIL: TpmC regressed %.1f%% (> %.0f%%)\n" tpmc_drop_pct !tpmc_tolerance;
@@ -93,8 +105,14 @@ let () =
           !rpno_tolerance;
         failed := true
       end;
+      if abort_rise_pp > !abort_tolerance then begin
+        Printf.printf "FAIL: abort rate rose %.3f pp (> %.2f pp)\n" abort_rise_pp
+          !abort_tolerance;
+        failed := true
+      end;
       if !failed then exit 1 else print_endline "bench_compare: within tolerance"
   | _ ->
       prerr_endline
-        "usage: bench_compare BASELINE.json CURRENT.json [--tpmc-tolerance PCT] [--rpno-tolerance PCT]";
+        "usage: bench_compare BASELINE.json CURRENT.json [--tpmc-tolerance PCT] \
+         [--rpno-tolerance PCT] [--abort-tolerance PP]";
       exit 2

@@ -81,6 +81,25 @@ let () =
       [ 25_000; 50_000; 100_000; 200_000; 400_000; 1_000_000 ]
   end
 
+(* Begin-window sweep (DESIGN.md §3b): the window trades a bounded added
+   begin latency and a snapshot up to one window stale (§4.2 tolerates
+   that — at worst the abort rate rises) for one commit-manager start RPC
+   per window instead of per transaction.  Pick the knee where TpmC stops
+   improving while the abort rate is still flat; window=0 is the
+   uncoalesced control. *)
+let () =
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "begin" then begin
+    let base =
+      { Scenarios.default_tell with warehouses = 16; measure_ns = 300_000_000; n_pns = 4; rf = 3 }
+    in
+    List.iter
+      (fun window ->
+        tell
+          (Printf.sprintf "4pn rf3 begin=%dus" (window / 1_000))
+          { base with begin_window_ns = window })
+      [ 0; 25_000; 50_000; 100_000; 200_000; 400_000; 1_000_000 ]
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "cmp128" then begin
     let base = { Scenarios.default_tell with warehouses = 128; measure_ns = 300_000_000; n_cms = 2 } in

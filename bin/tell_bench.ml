@@ -47,6 +47,10 @@ let print_detail (detail : Scenarios.tell_detail) outcome =
     detail.d_requests detail.d_ops
     (if detail.d_requests = 0 then 0.0
      else float_of_int detail.d_ops /. float_of_int detail.d_requests);
+  Printf.printf "  begin coalescing: %d begins over %d start RPCs (%.2f begins/RPC)\n"
+    detail.d_begins detail.d_begin_rpcs
+    (if detail.d_begin_rpcs = 0 then 0.0
+     else float_of_int detail.d_begins /. float_of_int detail.d_begin_rpcs);
   match requests_per_new_order detail outcome with
   | Some per_no -> Printf.printf "  store requests per new-order: %.1f\n" per_no
   | None -> ()
@@ -67,6 +71,8 @@ let json_of_run c (detail : Scenarios.tell_detail) outcome =
   Printf.bprintf buf "  \"batching_ratio\": %.3f,\n"
     (if detail.d_requests = 0 then 0.0
      else float_of_int detail.d_ops /. float_of_int detail.d_requests);
+  Printf.bprintf buf "  \"begins\": %d,\n  \"begin_rpcs\": %d,\n" detail.d_begins
+    detail.d_begin_rpcs;
   (match requests_per_new_order detail outcome with
   | Some per_no -> Printf.bprintf buf "  \"requests_per_new_order\": %.2f,\n" per_no
   | None -> ());

@@ -488,60 +488,101 @@ let rec leaf_id_for t target id =
         if level = 1 then child else leaf_id_for t target child
   | Leaf _ -> id
 
-let lookup_many t ~keys =
-  let targets = List.map (fun key -> (key, (key, min_int))) keys in
-  let routed =
-    List.map
-      (fun (key, target) ->
-        match leaf_id_for t target (root_id t) with
-        | id -> (key, target, Some id)
-        | exception Retry -> (key, target, None))
-      targets
-  in
-  let leaf_ids =
-    List.sort_uniq Int.compare
-      (List.filter_map (fun (_, _, id) -> id) routed)
-  in
-  let cells =
-    Tell_kv.Client.multi_get t.kv (List.map (node_key t) leaf_ids)
-  in
-  let leaves = Hashtbl.create 16 in
-  List.iter2
-    (fun id cell ->
-      match cell with
-      | Some (data, token) -> (
-          match Hashtbl.find_opt t.decoded id with
-          | Some (cached_token, node) when cached_token = token ->
-              Hashtbl.replace leaves id node
-          | _ ->
-              let node = decode_node data in
-              Hashtbl.replace t.decoded id (token, node);
-              Hashtbl.replace leaves id node)
-      | None -> ())
-    leaf_ids cells;
-  List.map
-    (fun (key, _target, leaf_id) ->
-      let fast =
-        match leaf_id with
-        | None -> None
-        | Some id -> (
-            match Hashtbl.find_opt leaves id with
-            | Some (Leaf { entries; high_key; _ })
-              when below_high (key ^ "\x00", min_int) high_key ->
-                (* The whole [key, key^\x00) range lies in this leaf: the
-                   batched copy is authoritative for the key. *)
-                Some
-                  (Array.to_list entries
-                  |> List.filter_map (fun (k, rid) -> if k = key then Some rid else None))
-            | Some (Leaf _) | Some (Inner _) | None -> None)
+let memo_node t id ~data ~token =
+  match Hashtbl.find_opt t.decoded id with
+  | Some (cached_token, node) when cached_token = token -> node
+  | _ ->
+      let node = decode_node data in
+      Hashtbl.replace t.decoded id (token, node);
+      node
+
+let shared_kv = function
+  | [] -> None
+  | (t, _) :: rest ->
+      List.iter
+        (fun (t', _) ->
+          if t'.kv != t.kv then invalid_arg "Btree: batched groups must share one store client")
+        rest;
+      Some t.kv
+
+let lookup_many_grouped groups =
+  match shared_kv groups with
+  | None -> []
+  | Some kv ->
+      (* Route every key of every tree to its leaf through the cached
+         inner levels; a routing failure falls back to the slow path. *)
+      let routed_groups =
+        List.map
+          (fun (t, keys) ->
+            ( t,
+              List.map
+                (fun key ->
+                  match leaf_id_for t (key, min_int) (root_id t) with
+                  | id -> (key, Some id)
+                  | exception Retry -> (key, None))
+                keys ))
+          groups
       in
-      match fast with
-      | Some rids -> (key, rids)
-      | None ->
-          (* Stale cache, duplicate run spilling into the next leaf, or a
-             routing miss: authoritative slow path. *)
-          (key, lookup t ~key))
-    routed
+      (* One multi-get covering every routed leaf of every tree (store
+         keys are distinct across trees: the index name is part of the
+         node key). *)
+      let to_fetch =
+        let seen = Hashtbl.create 16 in
+        List.concat_map
+          (fun (t, routed) ->
+            List.filter_map
+              (fun (_, id) ->
+                match id with
+                | Some id ->
+                    let k = node_key t id in
+                    if Hashtbl.mem seen k then None
+                    else begin
+                      Hashtbl.replace seen k ();
+                      Some (t, id)
+                    end
+                | None -> None)
+              routed)
+          routed_groups
+      in
+      let cells = Kv.Client.multi_get kv (List.map (fun (t, id) -> node_key t id) to_fetch) in
+      let leaves = Hashtbl.create 16 in
+      List.iter2
+        (fun (t, id) cell ->
+          match cell with
+          | Some (data, token) -> Hashtbl.replace leaves (node_key t id) (memo_node t id ~data ~token)
+          | None -> ())
+        to_fetch cells;
+      List.map
+        (fun (t, routed) ->
+          List.map
+            (fun (key, leaf_id) ->
+              let fast =
+                match leaf_id with
+                | None -> None
+                | Some id -> (
+                    match Hashtbl.find_opt leaves (node_key t id) with
+                    | Some (Leaf { entries; high_key; _ })
+                      when below_high (key ^ "\x00", min_int) high_key ->
+                        (* The whole [key, key^\x00) range lies in this
+                           leaf: the batched copy is authoritative. *)
+                        Some
+                          (Array.to_list entries
+                          |> List.filter_map (fun (k, rid) -> if k = key then Some rid else None))
+                    | Some (Leaf _) | Some (Inner _) | None -> None)
+              in
+              match fast with
+              | Some rids -> (key, rids)
+              | None ->
+                  (* Stale cache, duplicate run spilling into the next
+                     leaf, or a routing miss: authoritative slow path. *)
+                  (key, lookup t ~key))
+            routed)
+        routed_groups
+
+let lookup_many t ~keys =
+  match lookup_many_grouped [ (t, keys) ] with
+  | [ results ] -> results
+  | _ -> List.map (fun key -> (key, lookup t ~key)) keys
 
 (* --- batched maintenance ------------------------------------------------------ *)
 
@@ -573,14 +614,6 @@ let apply_ops_to_entries entries ops =
       | Del (key, rid) -> remove_entry es key rid)
     entries ops
 
-let memo_node t id ~data ~token =
-  match Hashtbl.find_opt t.decoded id with
-  | Some (cached_token, node) when cached_token = token -> node
-  | _ ->
-      let node = decode_node data in
-      Hashtbl.replace t.decoded id (token, node);
-      node
-
 (* Split an overflowing leaf, installing all merged entries at once: CAS
    the left half over the old cell, store the right half as a fresh node,
    and push the separator into the ancestors.  Returns [false] when the
@@ -604,15 +637,6 @@ let split_leaf t id ~token entries' ~high_key ~next =
   end
 
 let batch_rounds = 4
-
-let shared_kv = function
-  | [] -> None
-  | (t, _) :: rest ->
-      List.iter
-        (fun (t', _) ->
-          if t'.kv != t.kv then invalid_arg "Btree: batched groups must share one store client")
-        rest;
-      Some t.kv
 
 let rec batch_round ~rounds groups =
   match List.filter (fun (_, ops) -> ops <> []) groups with

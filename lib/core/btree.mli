@@ -59,6 +59,12 @@ val lookup_many : t -> keys:string list -> (string * int list) list
     are fetched together, and only keys whose leaf turned out stale fall
     back to individual traversals.  Results are in input order. *)
 
+val lookup_many_grouped : (t * string list) list -> (string * int list) list list
+(** [lookup_many] generalised across several trees attached to the same
+    store client: all routed leaves of all groups are fetched in one
+    multi-get, so a transaction's point lookups across many indexes cost
+    one batched round trip total.  The result mirrors the input shape. *)
+
 val range : t -> lo:string -> hi:string -> (string * int) list
 (** Entries with [lo <= key < hi], in key order. *)
 

@@ -194,6 +194,149 @@ let read t ~snapshot ~table ~rid =
   | Shared_vs_buffer { unit_size; _ } ->
       read_sbvs t ~snapshot ~key ~cell_key:(unit_key ~table ~rid ~unit_size)
 
+(* Batched read: one store multi-get per miss class instead of one get
+   per record, preserving each strategy's semantics exactly.  TB always
+   fetches; SB serves entries whose validity covers the snapshot and
+   refetches the rest tagged with one V_max computed before the batch
+   fetch (every transaction in it committed before any fetch, so it is a
+   sound validity for the whole batch); SBVS re-validates stale entries
+   against their unit cells — all cells in one round first, then all
+   records that still need fetching, so a record tagged with a remote
+   cell shows every write the cell accounts.  Results are in input
+   order; duplicate keys are the caller's concern (harmless here). *)
+let read_many t ~snapshot pairs =
+  match pairs with
+  | [] -> []
+  | _ :: _ -> (
+      let keyed = List.map (fun (table, rid) -> (Keys.record ~table ~rid, table, rid)) pairs in
+      match t.strategy with
+      | Transaction_buffer ->
+          t.misses <- t.misses + List.length keyed;
+          let replies = Kv.Client.multi_get t.kv (List.map (fun (k, _, _) -> k) keyed) in
+          List.map2
+            (fun (key, _, _) reply ->
+              Option.map (fun (data, token) -> (decode_record t ~key ~data ~token, token)) reply)
+            keyed replies
+      | Shared_record_buffer _ ->
+          let classified =
+            List.map
+              (fun (key, _, _) ->
+                match Hashtbl.find_opt t.entries key with
+                | Some entry when Version_set.subset snapshot entry.validity ->
+                    t.hits <- t.hits + 1;
+                    touch t entry;
+                    `Hit (entry.record, entry.token)
+                | Some _ | None ->
+                    t.misses <- t.misses + 1;
+                    `Fetch key)
+              keyed
+          in
+          let misses = List.filter_map (function `Fetch k -> Some k | `Hit _ -> None) classified in
+          let fetched = Hashtbl.create 16 in
+          (match misses with
+          | [] -> ()
+          | _ :: _ ->
+              let validity = t.vmax () in
+              let replies = Kv.Client.multi_get t.kv misses in
+              List.iter2
+                (fun key reply ->
+                  match reply with
+                  | None ->
+                      Hashtbl.remove t.entries key;
+                      Hashtbl.replace fetched key None
+                  | Some (data, token) ->
+                      let record = decode_record t ~key ~data ~token in
+                      install t ~key ~record ~token ~validity;
+                      Hashtbl.replace fetched key (Some (record, token)))
+                misses replies);
+          List.map
+            (function
+              | `Hit hit -> Some hit
+              | `Fetch key -> Option.join (Hashtbl.find_opt fetched key))
+            classified
+      | Shared_vs_buffer { unit_size; _ } ->
+          let classified =
+            List.map
+              (fun (key, table, rid) ->
+                match Hashtbl.find_opt t.entries key with
+                | Some entry when Version_set.subset snapshot entry.validity ->
+                    t.hits <- t.hits + 1;
+                    touch t entry;
+                    `Hit (entry.record, entry.token)
+                | Some entry -> `Check (key, entry, unit_key ~table ~rid ~unit_size)
+                | None ->
+                    t.misses <- t.misses + 1;
+                    `Fetch (key, None))
+              keyed
+          in
+          (* Round 1: unit cells of every stale entry. *)
+          let checks = List.filter_map (function `Check c -> Some c | _ -> None) classified in
+          let check_results = Hashtbl.create 8 in
+          (match checks with
+          | [] -> ()
+          | _ :: _ ->
+              t.extra_requests <- t.extra_requests + List.length checks;
+              let cell_replies =
+                Kv.Client.multi_get t.kv (List.map (fun (_, _, ck) -> ck) checks)
+              in
+              List.iter2
+                (fun (key, entry, _) reply ->
+                  match reply with
+                  | Some (cell, _) ->
+                      let remote = Version_set.decode cell in
+                      if Version_set.equal remote entry.validity then begin
+                        t.hits <- t.hits + 1;
+                        touch t entry;
+                        Hashtbl.replace check_results key (`Hit (entry.record, entry.token))
+                      end
+                      else begin
+                        t.misses <- t.misses + 1;
+                        Hashtbl.replace check_results key (`Fetch (Some remote))
+                      end
+                  | None ->
+                      t.misses <- t.misses + 1;
+                      Hashtbl.replace check_results key (`Fetch None))
+                checks cell_replies);
+          let resolved =
+            List.map
+              (function
+                | `Hit hit -> `Hit hit
+                | `Fetch (key, validity) -> `Fetch (key, validity)
+                | `Check (key, _, _) -> (
+                    match Hashtbl.find_opt check_results key with
+                    | Some (`Hit hit) -> `Hit hit
+                    | Some (`Fetch validity) -> `Fetch (key, validity)
+                    | None -> `Fetch (key, None)))
+              classified
+          in
+          (* Round 2: every record still needing a fetch. *)
+          let to_fetch =
+            List.filter_map (function `Fetch f -> Some f | `Hit _ -> None) resolved
+          in
+          let fetched = Hashtbl.create 16 in
+          (match to_fetch with
+          | [] -> ()
+          | _ :: _ ->
+              let vmax_validity = t.vmax () in
+              let replies = Kv.Client.multi_get t.kv (List.map fst to_fetch) in
+              List.iter2
+                (fun (key, validity) reply ->
+                  match reply with
+                  | None ->
+                      Hashtbl.remove t.entries key;
+                      Hashtbl.replace fetched key None
+                  | Some (data, token) ->
+                      let record = decode_record t ~key ~data ~token in
+                      let validity = Option.value validity ~default:vmax_validity in
+                      install t ~key ~record ~token ~validity;
+                      Hashtbl.replace fetched key (Some (record, token)))
+                to_fetch replies);
+          List.map
+            (function
+              | `Hit hit -> Some hit
+              | `Fetch (key, _) -> Option.join (Hashtbl.find_opt fetched key))
+            resolved)
+
 (* Grow the unit cell with an LL/SC union loop so that it never shrinks:
    monotonicity is what makes the [B' = B] fast path above sound. *)
 let rec grow_unit_cell t ~cell_key ~tid ~attempts =

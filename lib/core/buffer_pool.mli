@@ -36,6 +36,14 @@ val read :
     record and its LL/SC token, from the buffer when valid for [snapshot],
     from the store otherwise; [None] if the record does not exist. *)
 
+val read_many :
+  pool -> snapshot:Version_set.t -> (string * int) list -> (Record.t * int) option list
+(** Batched {!read} over [(table, rid)] pairs: at most one store
+    multi-get per miss class (records under TB/SB; unit cells then
+    records under SBVS) instead of one get per record, with each
+    strategy's hit/validity semantics preserved.  Results are in input
+    order. *)
+
 val note_applied :
   pool -> table:string -> rid:int -> record:Record.t -> token:int -> tid:int -> unit
 (** Write-through hook called after a transaction's update was applied

@@ -323,6 +323,46 @@ let start t ?src ~from_group () =
           self_fence t;
           raise (Kv.Op.Unavailable (endpoint t)))
 
+(* The begin-window coalescer's form of {!start}: one RPC starting a
+   whole window of transactions.  Every transaction in the batch gets
+   its own tid but they share the snapshot computed once at service
+   time — for the early arrivals that is a slightly delayed snapshot,
+   which SI tolerates (§4.2): at worst the abort rate rises. *)
+let start_many t ?src ~from_group ~count () =
+  if count <= 0 then invalid_arg "Commit_manager.start_many: count must be positive";
+  rpc t ?src
+    ~demand:(900 + (120 * (count - 1)))
+    ~on_reply_lost:(fun (replies : start_reply list) ->
+      (* As in {!start}: the caller never learned any of these tids, so
+         abort the whole batch on the spot rather than hold the lav. *)
+      List.iter
+        (fun (reply : start_reply) ->
+          Hashtbl.remove t.active reply.tid;
+          mark_decided t ~tid:reply.tid ~committed:false)
+        replies)
+    (fun () ->
+      let tids = ref [] in
+      (try
+         for _ = 1 to count do
+           tids := next_tid t :: !tids
+         done
+       with Kv.Op.Fenced _ ->
+         (* The range refill bounced mid-batch: this instance was
+            replaced while partitioned.  Tids already drawn stay
+            undecided outside every live manager's span, so the
+            reclamation sweep collects them; fence ourselves and answer
+            like a dead node. *)
+         self_fence t;
+         raise (Kv.Op.Unavailable (endpoint t)));
+      let snapshot = snapshot_of_state t in
+      let lav = global_lav t in
+      let base = Version_set.base snapshot in
+      List.rev_map
+        (fun tid ->
+          Hashtbl.replace t.active tid (base, from_group);
+          { tid; snapshot; lav })
+        !tids)
+
 let set_committed t ?src ~tid () =
   rpc t ?src ~demand:350 (fun () ->
       Hashtbl.remove t.active tid;

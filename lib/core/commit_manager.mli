@@ -64,6 +64,15 @@ val was_fenced : t -> bool
     Without it the legacy always-delivered path is used. *)
 
 val start : t -> ?src:string -> from_group:Tell_sim.Engine.Group.t -> unit -> start_reply
+
+val start_many :
+  t -> ?src:string -> from_group:Tell_sim.Engine.Group.t -> count:int -> unit -> start_reply list
+(** One RPC starting [count] transactions at once — the coalesced form of
+    {!start} used by the per-PN begin window.  Each reply carries its own
+    tid; all replies share the snapshot computed at service time (a
+    slightly delayed snapshot is correct under SI, §4.2).  Raises
+    [Invalid_argument] when [count <= 0]. *)
+
 val set_committed : t -> ?src:string -> tid:int -> unit -> unit
 val set_aborted : t -> ?src:string -> tid:int -> unit -> unit
 

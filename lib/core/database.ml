@@ -146,10 +146,10 @@ let cluster t = t.cluster
 let commit_managers t = t.cms
 let pns t = t.pns
 
-let add_pn t ?cores ?cost ?buffer ?notify_flush_window_ns () =
+let add_pn t ?cores ?cost ?buffer ?notify_flush_window_ns ?begin_window_ns () =
   let pn =
     Pn.create t.cluster ~id:t.next_pn_id ?cores ?cost ?buffer ?notify_flush_window_ns
-      ~commit_managers:t.cms ()
+      ?begin_window_ns ~commit_managers:t.cms ()
   in
   t.next_pn_id <- t.next_pn_id + 1;
   t.pns <- t.pns @ [ pn ];

@@ -26,6 +26,7 @@ val add_pn :
   ?cost:Pn.cost_model ->
   ?buffer:Buffer_pool.strategy ->
   ?notify_flush_window_ns:int ->
+  ?begin_window_ns:int ->
   unit ->
   Pn.t
 (** Elastically add a processing node (no data movement — §2.1). *)

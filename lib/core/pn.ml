@@ -18,6 +18,16 @@ let default_cost_model =
    outcomes of concurrent committers into one batch. *)
 let default_notify_flush_window_ns = 100_000
 
+(* How long the first beginner of a window waits for company before the
+   shared [start_many] round trip to the commit manager.  Calibration
+   rationale in DESIGN.md §3b: the window trades a bounded added begin
+   latency (and a snapshot up to one window stale, which SI tolerates —
+   §4.2, at worst a higher abort rate) for one manager RPC per window
+   instead of per transaction.  Kept equal to the notify window: both sit
+   well under the managers' 1 ms sync interval, so the extra staleness
+   vanishes in the §4.2 delay budget.  [calibrate.exe begin] sweeps it. *)
+let default_begin_window_ns = 100_000
+
 type rid_range = { mutable next : int; mutable stop : int (* exclusive *) }
 
 type t = {
@@ -38,6 +48,13 @@ type t = {
   schemas : (string, Schema.table) Hashtbl.t;
   commit_stats : Sim.Stats.Breakdown.t;
   mutable notifier : Notifier.t option;
+  begin_window_ns : int;
+  mutable begin_window :
+    (Commit_manager.t * Commit_manager.start_reply) Sim.Ivar.t list ref option;
+      (* open begin window: ivars of the waiters (newest first), or [None]
+         when no window is collecting *)
+  mutable begins : int;  (* begin_txn calls served *)
+  mutable begin_rpcs : int;  (* manager start RPCs actually issued *)
   claimed_tids : (int, unit) Hashtbl.t;
       (* in-flight transactions on this node; the reclamation sweep never
          touches a tid a live node claims *)
@@ -48,7 +65,7 @@ type t = {
          node, so it must stop — a poisoned zombie never serves again *)
 }
 
-let commit_phases = [ "log"; "apply"; "index"; "notify" ]
+let commit_phases = [ "begin"; "read"; "log"; "apply"; "index"; "notify" ]
 
 let rid_range_size = 64
 
@@ -68,7 +85,8 @@ let poison t =
 
 let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
     ?(buffer = Buffer_pool.Transaction_buffer)
-    ?(notify_flush_window_ns = default_notify_flush_window_ns) ~commit_managers () =
+    ?(notify_flush_window_ns = default_notify_flush_window_ns)
+    ?(begin_window_ns = default_begin_window_ns) ~commit_managers () =
   let engine = Kv.Cluster.engine cluster in
   let label = Printf.sprintf "pn%d" id in
   let group = Sim.Engine.make_group engine label in
@@ -91,6 +109,10 @@ let create cluster ~id ?(cores = 4) ?(cost = default_cost_model)
       schemas = Hashtbl.create 16;
       commit_stats = Sim.Stats.Breakdown.create commit_phases;
       notifier = None;
+      begin_window_ns;
+      begin_window = None;
+      begins = 0;
+      begin_rpcs = 0;
       claimed_tids = Hashtbl.create 64;
       alive = true;
       fenced = false;
@@ -159,6 +181,80 @@ let commit_manager t =
     end
   in
   pick n
+
+(* Begin-window coalescer — the notify-side Notifier's mirror image on
+   the begin side.  The first beginner opens a window and becomes its
+   leader: it sleeps [begin_window_ns], closes the window {e before}
+   suspending on the manager RPC (arrivals from then on open a fresh
+   window), issues one [start_many] for the whole batch, claims every
+   handed-out tid before any waiter can resume (from the claim to the
+   decision the reclamation sweep must treat the tid as live — and
+   nothing can suspend between the replies landing and the claims), and
+   distributes the replies.  Concurrent beginners within the window just
+   park on an ivar.  All transactions of a window share the snapshot
+   computed at RPC service time; each gets its own tid.  If the RPC
+   fails (manager crashed or unreachable mid-window) every waiter gets
+   the exception and no tid was ever claimed or learned, so nothing
+   leaks for the reclamation sweep. *)
+let begin_start t =
+  t.begins <- t.begins + 1;
+  if t.begin_window_ns <= 0 then begin
+    (* Coalescing disabled: the direct path. *)
+    let cm = commit_manager t in
+    t.begin_rpcs <- t.begin_rpcs + 1;
+    let reply = Commit_manager.start cm ~src:(endpoint t) ~from_group:t.group () in
+    claim_tid t reply.Commit_manager.tid;
+    (cm, reply)
+  end
+  else
+    match t.begin_window with
+    | Some waiters ->
+        let iv = Sim.Ivar.create t.engine in
+        waiters := iv :: !waiters;
+        Sim.Ivar.read iv
+    | None ->
+        let iv = Sim.Ivar.create t.engine in
+        let waiters = ref [ iv ] in
+        t.begin_window <- Some waiters;
+        let opened = Sim.Engine.now t.engine in
+        (try
+           Sim.Engine.sleep t.engine t.begin_window_ns;
+           t.begin_window <- None;
+           let batch = List.rev !waiters in
+           let n = List.length batch in
+           let cm = commit_manager t in
+           t.begin_rpcs <- t.begin_rpcs + 1;
+           match
+             Commit_manager.start_many cm ~src:(endpoint t) ~from_group:t.group ~count:n ()
+           with
+           | replies ->
+               List.iter
+                 (fun (reply : Commit_manager.start_reply) -> claim_tid t reply.tid)
+                 replies;
+               List.iter2 (fun iv reply -> Sim.Ivar.fill iv (cm, reply)) batch replies;
+               note_commit_phase t ~phase:"begin" ~ops:n (Sim.Engine.now t.engine - opened)
+           | exception e ->
+               (* Manager crashed or unreachable mid-window: every waiter
+                  sees the failure; no tid was claimed. *)
+               List.iter (fun w -> Sim.Ivar.fill_exn w e) batch
+         with e ->
+           (* The leader itself died in the window (its group was killed)
+              or failed before the RPC: close the window and fail every
+              waiter not yet answered.  A waiter whose own group is still
+              alive sees the node-begin failure, not our cancellation. *)
+           (match t.begin_window with
+           | Some w when w == waiters -> t.begin_window <- None
+           | Some _ | None -> ());
+           let failure =
+             match e with Sim.Engine.Cancelled -> Kv.Op.Unavailable (endpoint t) | e -> e
+           in
+           List.iter
+             (fun w -> if not (Sim.Ivar.is_filled w) then Sim.Ivar.fill_exn w failure)
+             !waiters;
+           raise e);
+        Sim.Ivar.read iv
+
+let begin_stats t = (t.begins, t.begin_rpcs)
 
 let note_started_snapshot t snapshot =
   if Version_set.base snapshot >= Version_set.base t.vmax then t.vmax <- snapshot

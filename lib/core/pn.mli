@@ -20,6 +20,10 @@ type t
 val default_notify_flush_window_ns : int
 (** Default notifier flush window (see DESIGN.md §3b for calibration). *)
 
+val default_begin_window_ns : int
+(** Default begin-coalescing window (see DESIGN.md §3b for calibration);
+    [0] disables coalescing — every begin pays its own manager RPC. *)
+
 val create :
   Tell_kv.Cluster.t ->
   id:int ->
@@ -27,6 +31,7 @@ val create :
   ?cost:cost_model ->
   ?buffer:Buffer_pool.strategy ->
   ?notify_flush_window_ns:int ->
+  ?begin_window_ns:int ->
   commit_managers:Commit_manager.t list ->
   unit ->
   t
@@ -81,7 +86,8 @@ val charge : t -> int -> unit
 (** Consume PN CPU time (from a fiber running on this PN). *)
 
 val commit_phases : string list
-(** The commit pipeline's phase names: log, apply, index, notify. *)
+(** The transaction pipeline's phase names: begin, read, log, apply,
+    index, notify. *)
 
 val commit_stats : t -> Tell_sim.Stats.Breakdown.t
 (** Per-phase latency/operation breakdown of this PN's commit pipeline. *)
@@ -94,6 +100,21 @@ val cost : t -> cost_model
 val commit_manager : t -> Commit_manager.t
 (** The manager this PN currently talks to; fails over to the next one
     when the current manager is dead (§4.4.3). *)
+
+val begin_start : t -> Commit_manager.t * Commit_manager.start_reply
+(** Start one transaction through the begin-window coalescer: concurrent
+    callers on this PN within [begin_window_ns] share a single
+    [Commit_manager.start_many] round trip.  Each caller gets a unique
+    tid (already claimed on this node by the window's leader); the window
+    shares the snapshot computed when the batched RPC was served — a
+    delayed snapshot is correct under SI (§4.2).  With a window of [0]
+    this is exactly [Commit_manager.start] plus the claim.  Raises
+    whatever the underlying RPC raises (e.g. [Unavailable] when the
+    manager crashed mid-window); on failure no tid was claimed. *)
+
+val begin_stats : t -> int * int
+(** [(begins, begin_rpcs)]: transactions started on this node and the
+    manager start RPCs actually issued for them — the coalescing ratio. *)
 
 val note_started_snapshot : t -> Version_set.t -> unit
 val vmax : t -> Version_set.t

@@ -30,8 +30,13 @@ type t = {
          (None = the record was absent), re-validated at commit. *)
   writes : (string, write) Hashtbl.t;
   mutable write_order : string list;  (* newest first *)
+  mutable async_reads : (string * int) list;
+      (* point reads registered by [read_async] awaiting their shared
+         batched fetch (newest first) *)
   mutable status : status;
 }
+
+type read_future = { rf_table : string; rf_rid : int }
 
 (* Observation hook for the check harness: fired once per successful
    commit, after the status flips but before the asynchronous notifier
@@ -86,10 +91,12 @@ let begin_txn ?(isolation = Snapshot_isolation) pn =
   (* The drain may have discovered we are a fenced zombie (a flush
      bounced and poisoned the node): refuse like a crashed node. *)
   if not (Pn.alive pn) then raise (Kv.Op.Unavailable (Printf.sprintf "pn%d" (Pn.id pn)));
-  let cm = Pn.commit_manager pn in
-  let reply = Commit_manager.start cm ~src:(Pn.endpoint pn) ~from_group:(Pn.group pn) () in
-  (* Claim the tid before anything can suspend: from here until the
-     commit/abort decision the reclamation sweep must treat it as live. *)
+  (* Start through the PN's begin-window coalescer: concurrent begins on
+     this node share one manager round trip.  The window's leader claims
+     every handed-out tid before any waiter resumes, so from here until
+     the commit/abort decision the reclamation sweep treats it as live
+     (the re-claim below is an idempotent no-op kept for clarity). *)
+  let cm, reply = Pn.begin_start pn in
   Pn.claim_tid pn reply.tid;
   Pn.note_started_snapshot pn reply.snapshot;
   History.note_begin ~tid:reply.tid ~pn_id:(Pn.id pn) ~snapshot:reply.snapshot;
@@ -104,6 +111,7 @@ let begin_txn ?(isolation = Snapshot_isolation) pn =
     read_tokens = Hashtbl.create 32;
     writes = Hashtbl.create 8;
     write_order = [];
+    async_reads = [];
     status = Running;
   }
 
@@ -167,50 +175,89 @@ let visible_tuple t record =
   | Some { payload = Record.Tuple tuple; _ } -> Some tuple
   | Some { payload = Record.Tombstone; _ } | None -> None
 
+(* Shared batched-fetch core of every fused read path: one
+   [Buffer_pool.read_many] (itself at most one store multi-get per miss
+   class) covering every listed record not already in the write buffer or
+   the transaction cache.  Returns how many records were fetched through
+   the pool.  The batch crosses a suspension point, so callers must treat
+   the whole call as one step of the single-flight rule (CLAUDE.md): no
+   shared mutable state may be read before it and updated after it. *)
+let fetch_many t pairs =
+  let seen = Hashtbl.create 16 in
+  let missing =
+    List.filter
+      (fun (table, rid) ->
+        let key = Keys.record ~table ~rid in
+        if Hashtbl.mem t.writes key || Hashtbl.mem t.cache key || Hashtbl.mem seen key then
+          false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      pairs
+  in
+  match missing with
+  | [] -> 0
+  | _ :: _ ->
+      let states = Buffer_pool.read_many (Pn.pool t.pn) ~snapshot:t.snapshot missing in
+      List.iter2
+        (fun (table, rid) state ->
+          let key = Keys.record ~table ~rid in
+          let state = Option.map (fun (record, token) -> { record; token }) state in
+          Hashtbl.replace t.cache key state;
+          note_read_token t key state)
+        missing states;
+      List.length missing
+
+(* Resolve a record already buffered by [fetch_many] (or by an earlier
+   read/write), with exactly [read]'s per-key semantics: the transaction's
+   own write wins without an observation event; otherwise the cached store
+   state is observed and filtered through the snapshot. *)
+let resolve_cached t ~table ~rid =
+  let key = Keys.record ~table ~rid in
+  match Hashtbl.find_opt t.writes key with
+  | Some w -> payload_to_tuple w.w_payload
+  | None -> (
+      let state = Option.join (Hashtbl.find_opt t.cache key) in
+      note_observed t ~key state;
+      match state with None -> None | Some { record; _ } -> visible_tuple t record)
+
+let note_read_phase t ~fetched t0 =
+  if fetched > 0 then
+    Pn.note_commit_phase t.pn ~phase:"read" ~ops:fetched
+      (Tell_sim.Engine.now (Pn.engine t.pn) - t0)
+
 let read_batch t ~table ~rids =
   check_running t;
   Pn.charge t.pn (List.length rids * (Pn.cost t.pn).cpu_per_read_ns / 4);
-  let resolve_local rid =
-    let key = Keys.record ~table ~rid in
-    match Hashtbl.find_opt t.writes key with
-    | Some w -> `Known (payload_to_tuple w.w_payload)
-    | None -> (
-        match Hashtbl.find_opt t.cache key with
-        | Some (Some { record; _ }) -> `Known (visible_tuple t record)
-        | Some None -> `Known None
-        | None -> `Fetch key)
-  in
-  let remote =
-    List.filter_map
-      (fun rid -> match resolve_local rid with `Fetch key -> Some (rid, key) | `Known _ -> None)
-      rids
-  in
-  (match remote with
-  | [] -> ()
-  | _ :: _ ->
-      let replies = Kv.Client.multi_get (Pn.kv t.pn) (List.map snd remote) in
-      List.iter2
-        (fun (_, key) reply ->
-          let state =
-            match reply with
-            | Some (data, token) ->
-                Some { record = Buffer_pool.decode_record (Pn.pool t.pn) ~key ~data ~token; token }
-            | None -> None
-          in
-          Hashtbl.replace t.cache key state;
-          note_read_token t key state)
-        remote replies);
+  let t0 = Tell_sim.Engine.now (Pn.engine t.pn) in
+  let fetched = fetch_many t (List.map (fun rid -> (table, rid)) rids) in
+  note_read_phase t ~fetched t0;
   List.filter_map
-    (fun rid ->
-      (if History.recording () then
-         let key = Keys.record ~table ~rid in
-         if not (Hashtbl.mem t.writes key) then
-           note_observed t ~key (Option.join (Hashtbl.find_opt t.cache key)));
-      match resolve_local rid with
-      | `Known (Some tuple) -> Some (rid, tuple)
-      | `Known None -> None
-      | `Fetch _ -> None)
+    (fun rid -> Option.map (fun tuple -> (rid, tuple)) (resolve_cached t ~table ~rid))
     rids
+
+let read_async t ~table ~rid =
+  check_running t;
+  let key = Keys.record ~table ~rid in
+  if not (Hashtbl.mem t.writes key || Hashtbl.mem t.cache key) then
+    t.async_reads <- (table, rid) :: t.async_reads;
+  { rf_table = table; rf_rid = rid }
+
+let await t fut =
+  check_running t;
+  (match t.async_reads with
+  | [] -> ()
+  | pending ->
+      (* First await flushes every registered read in one batched round:
+         clear the register before the fetch suspends so a re-entrant
+         registration is not lost. *)
+      t.async_reads <- [];
+      let t0 = Tell_sim.Engine.now (Pn.engine t.pn) in
+      let fetched = fetch_many t (List.rev pending) in
+      note_read_phase t ~fetched t0);
+  Pn.charge t.pn ((Pn.cost t.pn).cpu_per_read_ns / 4);
+  resolve_cached t ~table:fut.rf_table ~rid:fut.rf_rid
 
 let pending_rows t ~table =
   Hashtbl.fold
@@ -356,6 +403,67 @@ let index_range t ~index ~lo ~hi =
 
 let index_lookup t ~index ~key =
   List.map snd (index_range t ~index ~lo:key ~hi:(key ^ "\x00"))
+
+let index_read_many t ~index ~keys =
+  check_running t;
+  let shared = Btree.lookup_many (Pn.btree t.pn ~index) ~keys in
+  List.map2
+    (fun key (_, rids) ->
+      let own = List.map snd (own_index_entries t ~index ~lo:key ~hi:(key ^ "\x00")) in
+      (key, List.sort_uniq Int.compare (own @ rids)))
+    keys shared
+
+(* Fused index→record point reads — §5.1's request batching applied to
+   the read side: route every key through its tree's cached inner levels
+   and fetch all leaves in one batched round ([Btree.lookup_many_grouped]
+   across every index touched), then fetch every resolved record through
+   the buffer pool in a second ([fetch_many]).  Per-key semantics — write
+   buffer and transaction-cache hits, pending index insertions, read
+   tokens, history recording, first-rid selection — match the sequential
+   [index_lookup] + [read] pair exactly. *)
+let read_by_pk_multi t reqs =
+  check_running t;
+  Pn.charge t.pn (List.length reqs * (Pn.cost t.pn).cpu_per_read_ns / 4);
+  let t0 = Tell_sim.Engine.now (Pn.engine t.pn) in
+  (* Group the lookups per index so every tree shares the leaf round. *)
+  let groups = ref [] in
+  List.iter
+    (fun (_, index, key) ->
+      match List.assoc_opt index !groups with
+      | Some keys -> keys := key :: !keys
+      | None -> groups := (index, ref [ key ]) :: !groups)
+    reqs;
+  let groups = List.rev_map (fun (index, keys) -> (index, List.rev !keys)) !groups in
+  let looked_up =
+    Btree.lookup_many_grouped
+      (List.map (fun (index, keys) -> (Pn.btree t.pn ~index, keys)) groups)
+  in
+  let shared_rids = Hashtbl.create 16 in
+  List.iter2
+    (fun (index, _) results ->
+      List.iter (fun (key, rids) -> Hashtbl.replace shared_rids (index, key) rids) results)
+    groups looked_up;
+  let resolved =
+    List.map
+      (fun (table, index, key) ->
+        let shared = Option.value ~default:[] (Hashtbl.find_opt shared_rids (index, key)) in
+        let own = List.map snd (own_index_entries t ~index ~lo:key ~hi:(key ^ "\x00")) in
+        match List.sort_uniq Int.compare (own @ shared) with
+        | [] -> None
+        | rid :: _ -> Some (table, rid))
+      reqs
+  in
+  let fetched = fetch_many t (List.filter_map Fun.id resolved) in
+  note_read_phase t ~fetched t0;
+  List.map
+    (function
+      | None -> None
+      | Some (table, rid) ->
+          Option.map (fun tuple -> (rid, tuple)) (resolve_cached t ~table ~rid))
+    resolved
+
+let read_by_pk_many t ~table ~index ~keys =
+  read_by_pk_multi t (List.map (fun key -> (table, index, key)) keys)
 
 let gc_index_entry t ~index ~key ~rid =
   Btree.remove (Pn.btree t.pn ~index) ~key ~rid

@@ -54,10 +54,46 @@ val read_record : t -> table:string -> rid:int -> Record.t option
     collection; does not include buffered writes. *)
 
 val read_batch : t -> table:string -> rids:int list -> (int * Value.t array) list
-(** Visible tuples for many rids with one (per storage node) round trip —
-    the scan path.  Bypasses the shared buffer but honours the
-    transaction's own cache and buffered writes.  Missing/invisible rids
-    are omitted. *)
+(** Visible tuples for many rids with at most one (per storage node)
+    round trip — the scan path.  Goes through the shared buffer pool
+    ({!Buffer_pool.read_many}), the transaction's own cache and its
+    buffered writes.  Missing/invisible rids are omitted. *)
+
+val read_by_pk_multi :
+  t -> (string * string * string) list -> (int * Value.t array) option list
+(** Fused index→record point reads (§5.1 request batching on the read
+    side).  For each [(table, index, encoded_key)] request, resolve the
+    first (lowest) rid stored under exactly the key — shared B+tree
+    entries merged with this transaction's pending index insertions — and
+    read the record it names.  All index leaves are fetched in one
+    batched round (shared across every index touched) and all resolved
+    records in a second, instead of one traversal plus one record get per
+    request.  [None] when the key has no entry or the record is invisible
+    under the snapshot; results are in request order.  Observably
+    equivalent to [index_lookup] + [read] per request (same rows, same
+    read tokens, same recorded history). *)
+
+val read_by_pk_many :
+  t -> table:string -> index:string -> keys:string list -> (int * Value.t array) option list
+(** {!read_by_pk_multi} over one table/index pair. *)
+
+val index_read_many : t -> index:string -> keys:string list -> (string * int list) list
+(** Batched exact-key lookups: all rids stored under each key (ascending,
+    own pending insertions merged), the leaves fetched in one batched
+    round via [Btree.lookup_many].  Results are in input order. *)
+
+type read_future
+
+val read_async : t -> table:string -> rid:int -> read_future
+(** Register a point read without fetching it.  The fetch happens on the
+    next {!await} of {e any} future of this transaction, which flushes
+    every pending registration in one batched round — so independent
+    reads issued back-to-back by one fiber land in the same client
+    batching lane instead of paying sequential round trips. *)
+
+val await : t -> read_future -> Value.t array option
+(** Resolve a registered read (flushing pending registrations first);
+    semantics per key are exactly {!read}. *)
 
 val pending_rows : t -> table:string -> (int * Value.t array) list
 (** This transaction's own buffered inserts/updates for [table] (deletes

@@ -32,6 +32,7 @@ type tell_config = {
   measure_ns : int;
   seed : int;
   notify_flush_window_ns : int;
+  begin_window_ns : int;
 }
 
 let default_tell =
@@ -52,6 +53,7 @@ let default_tell =
     measure_ns = 600_000_000;
     seed = 42;
     notify_flush_window_ns = Pn.default_notify_flush_window_ns;
+    begin_window_ns = Pn.default_begin_window_ns;
   }
 
 (* Core accounting of §6.4: 4-core PNs and SNs (one NUMA unit), 2-core
@@ -65,6 +67,8 @@ let scale_of c = Tpcc.Spec.sim_scale ~warehouses:c.warehouses
 type tell_detail = {
   d_requests : int;  (** store requests sent by all PN clients *)
   d_ops : int;  (** operations carried by those requests *)
+  d_begins : int;  (** transactions started on all PNs *)
+  d_begin_rpcs : int;  (** commit-manager start RPCs those begins cost *)
   d_phases : (string * Sim.Stats.Histogram.t * int) list;
 }
 
@@ -85,7 +89,8 @@ let run_tell_detailed (c : tell_config) =
   let pns =
     List.init c.n_pns (fun _ ->
         Database.add_pn db ~cores:c.pn_cores ~buffer:c.buffer
-          ~notify_flush_window_ns:c.notify_flush_window_ns ())
+          ~notify_flush_window_ns:c.notify_flush_window_ns
+          ~begin_window_ns:c.begin_window_ns ())
   in
   let scale = scale_of c in
   let _ = Tpcc.Loader.load (Database.cluster db) ~scale ~seed:(c.seed + 1) in
@@ -117,6 +122,8 @@ let run_tell_detailed (c : tell_config) =
     {
       d_requests = List.fold_left (fun a pn -> a + Kv.Client.requests_sent (Pn.kv pn)) 0 pns;
       d_ops = List.fold_left (fun a pn -> a + Kv.Client.ops_sent (Pn.kv pn)) 0 pns;
+      d_begins = List.fold_left (fun a pn -> a + fst (Pn.begin_stats pn)) 0 pns;
+      d_begin_rpcs = List.fold_left (fun a pn -> a + snd (Pn.begin_stats pn)) 0 pns;
       d_phases = Sim.Stats.Breakdown.phases merged;
     }
   in

@@ -31,17 +31,22 @@ exception Row_missing of string
 
 let pk index_table = "pk_" ^ index_table
 
-let find_rid txn ~table key =
-  match Txn.index_lookup txn ~index:(pk table) ~key:(Codec.encode_key key) with
-  | [ rid ] -> rid
-  | [] -> raise (Row_missing table)
-  | rid :: _ -> rid
+let pk_req table key = (table, pk table, Codec.encode_key key)
+
+(* Fused point reads: one batched index round plus one batched record
+   round for the whole request list; a missing/invisible row raises
+   [Row_missing] exactly like the sequential path did. *)
+let read_multi txn reqs =
+  List.map2
+    (fun (table, _, _) result ->
+      match result with Some hit -> hit | None -> raise (Row_missing table))
+    reqs
+    (Txn.read_by_pk_multi txn reqs)
 
 let read_by_pk txn ~table key =
-  let rid = find_rid txn ~table key in
-  match Txn.read txn ~table ~rid with
-  | Some tuple -> (rid, tuple)
-  | None -> raise (Row_missing table)
+  match read_multi txn [ pk_req table key ] with
+  | [ hit ] -> hit
+  | _ -> raise (Row_missing table)
 
 let prefix_range txn ~index prefix =
   let lo = Codec.encode_key prefix in
@@ -78,16 +83,69 @@ let customer_by_selector txn ~scale:_ ~w_id ~d_id selector =
 
 let new_order conn txn (input : Spec.new_order_input) =
   let w_id = input.no_w_id and d_id = input.no_d_id in
-  let _, warehouse = read_by_pk txn ~table:"warehouse" [ Value.Int w_id ] in
+  let items =
+    (* An unused item number triggers the specified 1 % rollback. *)
+    if input.invalid_item then
+      match List.rev input.items with
+      | (_, sw, qty) :: rest -> List.rev ((0, sw, qty) :: rest)
+      | [] -> input.items
+    else input.items
+  in
+  (* Every key the transaction touches is known from the input, so the
+     whole read side — warehouse, district, customer, all items, all
+     stocks — is one fused call: one batched leaf round, one batched
+     record round (§5.1 request batching). *)
+  let valid_items = List.filter (fun (i_id, _, _) -> i_id <> 0) items in
+  let header =
+    [
+      pk_req "warehouse" [ Value.Int w_id ];
+      pk_req "district" [ Value.Int w_id; Value.Int d_id ];
+      pk_req "customer" [ Value.Int w_id; Value.Int d_id; Value.Int input.no_c_id ];
+    ]
+  in
+  let item_reqs = List.map (fun (i_id, _, _) -> pk_req "item" [ Value.Int i_id ]) valid_items in
+  let stock_reqs =
+    List.map
+      (fun (i_id, supply_w, _) -> pk_req "stock" [ Value.Int supply_w; Value.Int i_id ])
+      valid_items
+  in
+  let n_items = List.length valid_items in
+  let results = Txn.read_by_pk_multi txn (header @ item_reqs @ stock_reqs) in
+  let wh_hit, dist_hit, cust_hit, fused =
+    match results with
+    | wh :: dist :: cust :: rest ->
+        let rec split n = function
+          | rest when n = 0 -> ([], rest)
+          | [] -> ([], [])
+          | x :: rest ->
+              let a, b = split (n - 1) rest in
+              (x :: a, b)
+        in
+        let item_hits, stock_hits = split n_items rest in
+        (wh, dist, cust, ref (List.combine item_hits stock_hits))
+    | _ -> raise (Row_missing "warehouse")
+  in
+  let next_fused () =
+    match !fused with
+    | [] -> (None, None)
+    | hit :: rest ->
+        fused := rest;
+        hit
+  in
+  let warehouse =
+    match wh_hit with Some (_, w) -> w | None -> raise (Row_missing "warehouse")
+  in
   let w_tax = f warehouse.(6) in
-  let d_rid, district = read_by_pk txn ~table:"district" [ Value.Int w_id; Value.Int d_id ] in
+  let d_rid, district =
+    match dist_hit with Some hit -> hit | None -> raise (Row_missing "district")
+  in
   let d_tax = f district.(7) in
   let o_id = i district.(9) in
   let district' = Array.copy district in
   district'.(9) <- Value.Int (o_id + 1);
   Txn.update txn ~table:"district" ~rid:d_rid district';
-  let _, customer =
-    read_by_pk txn ~table:"customer" [ Value.Int w_id; Value.Int d_id; Value.Int input.no_c_id ]
+  let customer =
+    match cust_hit with Some (_, c) -> c | None -> raise (Row_missing "customer")
   in
   let c_discount = f customer.(14) in
   let all_local = List.for_all (fun (_, sw, _) -> sw = w_id) input.items in
@@ -101,27 +159,17 @@ let new_order conn txn (input : Spec.new_order_input) =
        |]);
   ignore (Txn.insert txn ~table:"neworder" [| Value.Int w_id; Value.Int d_id; Value.Int o_id |]);
   let total = ref 0.0 in
-  let items =
-    (* An unused item number triggers the specified 1 % rollback. *)
-    if input.invalid_item then
-      match List.rev input.items with
-      | (_, sw, qty) :: rest -> List.rev ((0, sw, qty) :: rest)
-      | [] -> input.items
-    else input.items
-  in
+  let ol_number = ref 0 in
   let item_missing =
     List.exists
       (fun (i_id, supply_w, quantity) ->
-        match
-          if i_id = 0 then None
-          else
-            try Some (read_by_pk txn ~table:"item" [ Value.Int i_id ]) with Row_missing _ -> None
-        with
+        let item_hit, stock_hit = if i_id = 0 then (None, None) else next_fused () in
+        match item_hit with
         | None -> true
         | Some (_, item) ->
             let price = f item.(3) in
             let s_rid, stock =
-              read_by_pk txn ~table:"stock" [ Value.Int supply_w; Value.Int i_id ]
+              match stock_hit with Some hit -> hit | None -> raise (Row_missing "stock")
             in
             let s_qty = i stock.(2) in
             let new_qty = if s_qty >= quantity + 10 then s_qty - quantity else s_qty - quantity + 91 in
@@ -133,11 +181,11 @@ let new_order conn txn (input : Spec.new_order_input) =
             Txn.update txn ~table:"stock" ~rid:s_rid stock';
             let amount = float_of_int quantity *. price in
             total := !total +. amount;
-            let ol_number = 1 + List.length (Txn.pending_rows txn ~table:"orderline") in
+            incr ol_number;
             ignore
               (Txn.insert txn ~table:"orderline"
                  [|
-                   Value.Int w_id; Value.Int d_id; Value.Int o_id; Value.Int ol_number;
+                   Value.Int w_id; Value.Int d_id; Value.Int o_id; Value.Int !ol_number;
                    Value.Int i_id; Value.Int supply_w; Value.Int 0; Value.Int quantity;
                    Value.Float amount; Value.Str (s stock.(3));
                  |]);
@@ -157,35 +205,55 @@ let new_order conn txn (input : Spec.new_order_input) =
 (* --- PAYMENT (clause 2.5) ----------------------------------------------------------- *)
 
 let payment conn txn (input : Spec.payment_input) =
-  let w_rid, warehouse = read_by_pk txn ~table:"warehouse" [ Value.Int input.p_w_id ] in
+  (* Warehouse, district and — when selected by id — the customer in one
+     fused read; a by-last-name selection needs the name index range
+     first, so it stays on the sequential selector path. *)
+  let header =
+    [
+      pk_req "warehouse" [ Value.Int input.p_w_id ];
+      pk_req "district" [ Value.Int input.p_w_id; Value.Int input.p_d_id ];
+    ]
+  in
+  let header =
+    match input.p_customer with
+    | Spec.By_id c_id ->
+        header
+        @ [
+            pk_req "customer"
+              [ Value.Int input.p_c_w_id; Value.Int input.p_c_d_id; Value.Int c_id ];
+          ]
+    | Spec.By_last_name _ -> header
+  in
+  let (w_rid, warehouse), (d_rid, district), cust_hit =
+    match read_multi txn header with
+    | [ wh; dist ] -> (wh, dist, None)
+    | [ wh; dist; cust ] -> (wh, dist, Some cust)
+    | _ -> raise (Row_missing "warehouse")
+  in
   let warehouse' = Array.copy warehouse in
   warehouse'.(7) <- Value.Float (f warehouse.(7) +. input.p_amount);
   Txn.update txn ~table:"warehouse" ~rid:w_rid warehouse';
-  let d_rid, district =
-    read_by_pk txn ~table:"district" [ Value.Int input.p_w_id; Value.Int input.p_d_id ]
-  in
   let district' = Array.copy district in
   district'.(8) <- Value.Float (f district.(8) +. input.p_amount);
   Txn.update txn ~table:"district" ~rid:d_rid district';
   let c_rid, customer =
-    customer_by_selector txn ~scale:conn.engine.scale ~w_id:input.p_c_w_id ~d_id:input.p_c_d_id
-      input.p_customer
+    match cust_hit with
+    | Some hit -> hit
+    | None ->
+        customer_by_selector txn ~scale:conn.engine.scale ~w_id:input.p_c_w_id
+          ~d_id:input.p_c_d_id input.p_customer
   in
   let customer' = Array.copy customer in
   customer'.(15) <- Value.Float (f customer.(15) -. input.p_amount);
   customer'.(16) <- Value.Float (f customer.(16) +. input.p_amount);
   customer'.(17) <- Value.Int (i customer.(17) + 1);
-  if s customer.(12) = "BC" then
-    customer'.(19) <-
-      Value.Str
-        (String.sub
-           (Printf.sprintf "%d %d %d %d %.2f|%s" (i customer.(2)) input.p_c_d_id input.p_c_w_id
-              input.p_d_id input.p_amount (s customer.(19)))
-           0
-           (min 60
-              (String.length
-                 (Printf.sprintf "%d %d %d %d %.2f|%s" (i customer.(2)) input.p_c_d_id
-                    input.p_c_w_id input.p_d_id input.p_amount (s customer.(19))))));
+  if s customer.(12) = "BC" then begin
+    let c_data =
+      Printf.sprintf "%d %d %d %d %.2f|%s" (i customer.(2)) input.p_c_d_id input.p_c_w_id
+        input.p_d_id input.p_amount (s customer.(19))
+    in
+    customer'.(19) <- Value.Str (String.sub c_data 0 (min 60 (String.length c_data)))
+  end;
   Txn.update txn ~table:"customer" ~rid:c_rid customer';
   ignore
     (Txn.insert txn ~table:"history"
@@ -232,46 +300,104 @@ let order_status conn txn (input : Spec.order_status_input) =
 
 let delivery conn txn (input : Spec.delivery_input) =
   let w_id = input.dl_w_id in
-  for d_id = 1 to conn.engine.scale.districts_per_wh do
-    (* Oldest undelivered order of the district. *)
-    let lo = Codec.encode_key [ Value.Int w_id; Value.Int d_id ] in
-    let hi = Codec.encode_key_successor [ Value.Int w_id; Value.Int d_id ] in
-    match Txn.index_range txn ~index:(pk "neworder") ~lo ~hi with
-    | [] -> ()
-    | (_, no_rid) :: _ -> (
-        match Txn.read txn ~table:"neworder" ~rid:no_rid with
-        | None -> ()
-        | Some no_row ->
-            let o_id = i no_row.(2) in
-            Txn.delete txn ~table:"neworder" ~rid:no_rid;
-            let o_rid, order =
-              read_by_pk txn ~table:"orders" [ Value.Int w_id; Value.Int d_id; Value.Int o_id ]
-            in
-            let order' = Array.copy order in
-            order'.(5) <- Value.Int input.dl_carrier_id;
-            Txn.update txn ~table:"orders" ~rid:o_rid order';
-            let lines =
-              prefix_range txn ~index:(pk "orderline")
-                [ Value.Int w_id; Value.Int d_id; Value.Int o_id ]
-            in
-            let rows = Txn.read_batch txn ~table:"orderline" ~rids:(List.map snd lines) in
-            let total = ref 0.0 in
-            List.iter
-              (fun (rid, line) ->
+  let districts = List.init conn.engine.scale.districts_per_wh (fun d -> d + 1) in
+  (* The per-district index scans cannot share a round (ranges traverse),
+     but everything row-shaped below them batches across districts:
+     neworder rows, then orders, then all order lines, then customers —
+     four batched rounds for the whole warehouse instead of ~six
+     sequential reads per district. *)
+  let heads =
+    List.filter_map
+      (fun d_id ->
+        let lo = Codec.encode_key [ Value.Int w_id; Value.Int d_id ] in
+        let hi = Codec.encode_key_successor [ Value.Int w_id; Value.Int d_id ] in
+        match Txn.index_range txn ~index:(pk "neworder") ~lo ~hi with
+        | [] -> None
+        | (_, no_rid) :: _ -> Some (d_id, no_rid))
+      districts
+  in
+  let no_rows = Txn.read_batch txn ~table:"neworder" ~rids:(List.map snd heads) in
+  let pending =
+    List.filter_map
+      (fun (d_id, no_rid) ->
+        match List.assoc_opt no_rid no_rows with
+        | Some no_row -> Some (d_id, no_rid, i no_row.(2))
+        | None -> None)
+      heads
+  in
+  List.iter (fun (_, no_rid, _) -> Txn.delete txn ~table:"neworder" ~rid:no_rid) pending;
+  let order_hits =
+    Txn.read_by_pk_multi txn
+      (List.map
+         (fun (d_id, _, o_id) ->
+           pk_req "orders" [ Value.Int w_id; Value.Int d_id; Value.Int o_id ])
+         pending)
+  in
+  let orders =
+    List.map2
+      (fun (d_id, _, o_id) hit ->
+        match hit with
+        | Some (o_rid, order) -> (d_id, o_id, o_rid, order)
+        | None -> raise (Row_missing "orders"))
+      pending order_hits
+  in
+  List.iter
+    (fun (_, _, o_rid, order) ->
+      let order' = Array.copy order in
+      order'.(5) <- Value.Int input.dl_carrier_id;
+      Txn.update txn ~table:"orders" ~rid:o_rid order')
+    orders;
+  let lines_of =
+    List.map
+      (fun (d_id, o_id, _, order) ->
+        let rids =
+          List.map snd
+            (prefix_range txn ~index:(pk "orderline")
+               [ Value.Int w_id; Value.Int d_id; Value.Int o_id ])
+        in
+        (d_id, order, rids))
+      orders
+  in
+  let all_lines =
+    Txn.read_batch txn ~table:"orderline"
+      ~rids:(List.concat_map (fun (_, _, rids) -> rids) lines_of)
+  in
+  let line_of = Hashtbl.create 64 in
+  List.iter (fun (rid, line) -> Hashtbl.replace line_of rid line) all_lines;
+  let totals =
+    List.map
+      (fun (d_id, order, rids) ->
+        let total = ref 0.0 in
+        List.iter
+          (fun rid ->
+            match Hashtbl.find_opt line_of rid with
+            | None -> ()
+            | Some line ->
                 total := !total +. f line.(8);
                 let line' = Array.copy line in
                 line'.(6) <- Value.Int (now_ts conn);
                 Txn.update txn ~table:"orderline" ~rid line')
-              rows;
-            let c_rid, customer =
-              read_by_pk txn ~table:"customer"
-                [ Value.Int w_id; Value.Int d_id; order.(3) ]
-            in
-            let customer' = Array.copy customer in
-            customer'.(15) <- Value.Float (f customer.(15) +. !total);
-            customer'.(18) <- Value.Int (i customer.(18) + 1);
-            Txn.update txn ~table:"customer" ~rid:c_rid customer')
-  done;
+          rids;
+        (d_id, order, !total))
+      lines_of
+  in
+  let customer_hits =
+    Txn.read_by_pk_multi txn
+      (List.map
+         (fun (d_id, order, _) ->
+           pk_req "customer" [ Value.Int w_id; Value.Int d_id; order.(3) ])
+         totals)
+  in
+  List.iter2
+    (fun (_, _, total) hit ->
+      match hit with
+      | None -> raise (Row_missing "customer")
+      | Some (c_rid, customer) ->
+          let customer' = Array.copy customer in
+          customer'.(15) <- Value.Float (f customer.(15) +. total);
+          customer'.(18) <- Value.Int (i customer.(18) + 1);
+          Txn.update txn ~table:"customer" ~rid:c_rid customer')
+    totals customer_hits;
   Txn.commit txn;
   Engine_intf.Committed
 
@@ -289,16 +415,19 @@ let stock_level _conn txn (input : Spec.stock_level_input) =
   let lines = Txn.index_range txn ~index:(pk "orderline") ~lo ~hi in
   let rows = Txn.read_batch txn ~table:"orderline" ~rids:(List.map snd lines) in
   let item_ids = List.sort_uniq Int.compare (List.map (fun (_, line) -> i line.(4)) rows) in
-  (* Batched point lookups: one store round per involved leaf instead of
-     one sequential traversal per item (§5.1 batching). *)
+  (* Fused batched point reads: one leaf round plus one record round for
+     every stock of the district's last 20 orders (§5.1 batching), with
+     the transaction's pending insertions merged like any other read. *)
   let stock_keys =
     List.map (fun i_id -> Codec.encode_key [ Value.Int input.sl_w_id; Value.Int i_id ]) item_ids
   in
-  let tree = Pn.btree (Txn.pn txn) ~index:(pk "stock") in
-  let stock_rids = List.concat_map snd (Btree.lookup_many tree ~keys:stock_keys) in
-  let stocks = Txn.read_batch txn ~table:"stock" ~rids:stock_rids in
+  let stocks = Txn.read_by_pk_many txn ~table:"stock" ~index:(pk "stock") ~keys:stock_keys in
   let low = ref 0 in
-  List.iter (fun (_, stock) -> if i stock.(2) < input.sl_threshold then incr low) stocks;
+  List.iter
+    (function
+      | Some (_, stock) when i stock.(2) < input.sl_threshold -> incr low
+      | Some _ | None -> ())
+    stocks;
   Txn.commit txn;
   Engine_intf.Committed
 
